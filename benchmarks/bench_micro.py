@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the hot paths under the paper's experiments:
+box geometry, subarray pack/unpack, runtime Alltoallw, codec throughput,
+LBM step rate, and mapping reuse (the "dynamic data" property)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Box, Redistributor, intersect_many
+from repro.imaging import VolumeSpec, tooth_slice
+from repro.jpeg import decode, encode_gray
+from repro.lbm import LbmConfig, SerialLbm
+from repro.mpisim import FLOAT, SubarrayType
+from repro.mpisim.executor import run_spmd
+
+
+def test_intersect_many_vectorised(benchmark):
+    rng = np.random.default_rng(0)
+    offsets = rng.integers(0, 1000, (4096, 3))
+    dims = rng.integers(1, 100, (4096, 3))
+    box = Box((200, 200, 200), (400, 400, 400))
+    mask, _, _ = benchmark(intersect_many, box, offsets, dims)
+    assert mask.any()
+
+
+def test_subarray_pack_throughput(benchmark):
+    """Packing a 1 MiB interior block out of a 16 MiB buffer."""
+    buffer = np.zeros((1024, 4096), dtype=np.float32)
+    datatype = SubarrayType(FLOAT, (1024, 4096), (256, 1024), (384, 1536))
+    out = benchmark(datatype.pack, buffer)
+    assert out.size == 256 * 1024
+
+
+def test_runtime_alltoallw_round(benchmark):
+    """One 4-rank Alltoallw of 1 MiB lanes through the threaded runtime."""
+
+    def exchange():
+        def fn(comm):
+            size = comm.size
+            n = 512
+            send = np.zeros((n, n), dtype=np.float32)
+            recv = np.zeros((n, n), dtype=np.float32)
+            rows = n // size
+            stypes = [
+                SubarrayType(FLOAT, (n, n), (rows, n), (d * rows, 0)) for d in range(size)
+            ]
+            rtypes = [
+                SubarrayType(FLOAT, (n, n), (rows, n), (s * rows, 0)) for s in range(size)
+            ]
+            comm.Alltoallw(send, stypes, recv, rtypes)
+            return True
+
+        return run_spmd(4, fn)
+
+    assert all(benchmark.pedantic(exchange, rounds=3, iterations=1))
+
+
+def test_mapping_setup_vs_reuse(benchmark):
+    """§III-C: setup once, exchange many — the exchange path must not
+    re-plan.  Times 16 exchanges after one setup."""
+
+    def run():
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            n = 256
+            rows = n // size
+            red = Redistributor(comm, ndims=2, dtype=np.float32)
+            red.setup(
+                own=[Box((0, rank * rows), (n, rows))],
+                need=Box((0, (size - 1 - rank) * rows), (n, rows)),
+            )
+            out = np.empty((rows, n), dtype=np.float32)
+            data = np.zeros((rows, n), dtype=np.float32)
+            for _ in range(16):
+                red.exchange([data], out)
+            return True
+
+        return run_spmd(4, fn)
+
+    assert all(benchmark.pedantic(run, rounds=3, iterations=1))
+
+
+def test_tiff_decode_rate(benchmark):
+    from io import BytesIO
+
+    from repro.imaging import read_tiff, write_tiff
+
+    spec = VolumeSpec(512, 256, 4, np.uint16)
+    buf = BytesIO()
+    write_tiff(buf, tooth_slice(spec, 2))
+    blob = buf.getvalue()
+    image = benchmark(lambda: read_tiff(BytesIO(blob)))
+    assert image.shape == (256, 512)
+
+
+def test_jpeg_encode_rate(benchmark):
+    spec = VolumeSpec(512, 256, 4, np.uint8)
+    image = tooth_slice(spec, 2)
+    blob = benchmark(encode_gray, image, 75)
+    assert decode(blob).shape == image.shape
+
+
+def test_lbm_step_rate(benchmark):
+    sim = SerialLbm(LbmConfig(nx=256, ny=128))
+    benchmark.pedantic(sim.step, args=(10,), rounds=3, iterations=1)
+    assert np.isfinite(sim.f).all()

@@ -1,0 +1,74 @@
+"""Bench: Table IV — raw vs in-transit JPEG output size.
+
+The pipeline really runs (LBM -> M-to-N stream -> DDR -> colormap -> JPEG)
+at reduced grid scale; raw sizes at the paper's grids are exact arithmetic
+and processed sizes extrapolate the measured bits/pixel (a documented
+upper bound — per-pixel content only gets smoother at larger grids).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import table4
+from repro.bench.paperdata import TABLE4_OUTPUT
+
+
+def test_measured_pipeline_compression(benchmark, measured_compression):
+    result = benchmark.pedantic(
+        lambda: measured_compression, rounds=1, iterations=1
+    )
+    # Real pipeline output at native scale: large reduction, sane bpp.
+    assert result.frames == 10
+    assert result.data_reduction > 0.95
+    assert 0.05 < result.bits_per_pixel < 2.0
+
+
+def test_table4_rows(benchmark, measured_compression):
+    rows = benchmark.pedantic(
+        table4.table4_rows, args=(measured_compression,), rounds=1, iterations=1
+    )
+    print("\n" + table4.report(measured_compression))
+    for row in rows:
+        paper_raw, _, paper_reduction = TABLE4_OUTPUT[(row.nx, row.ny)]
+        # Raw sizes are exact arithmetic; paper prints them rounded.
+        assert row.raw_bytes == pytest.approx(paper_raw, rel=0.06)
+        # Constant-bpp estimate preserves the headline: ~two orders of
+        # magnitude reduction (paper: 99.4-99.6%; ours bounds from below).
+        assert row.reduction > 0.97
+        assert row.reduction <= paper_reduction + 0.005
+
+    # The reduction stays essentially flat across the 64x size range,
+    # matching the paper's near-constant percentage column.
+    reductions = [row.reduction for row in rows]
+    assert max(reductions) - min(reductions) < 0.01
+
+
+def test_two_scale_bracket_contains_paper(benchmark, measured_compression):
+    """The measured [edge-fit, constant-bpp] bracket must contain the
+    paper's processed sizes at every grid."""
+
+    def build():
+        small = table4.measure_compression(
+            nx=162, ny=65, m=4, n=2, steps=1500, output_every=150
+        )
+        fit = table4.fit_scaling(small, measured_compression)
+        low = table4.table4_rows(measured_compression, fit)
+        high = table4.table4_rows(measured_compression, None)
+        return low, high
+
+    low_rows, high_rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    for low, high in zip(low_rows, high_rows):
+        _, paper_processed, _ = TABLE4_OUTPUT[(low.nx, low.ny)]
+        assert low.processed_bytes <= paper_processed <= high.processed_bytes, (
+            low.nx,
+            low.processed_bytes,
+            paper_processed,
+            high.processed_bytes,
+        )
+
+
+def test_raw_sizes_match_paper_exactly():
+    """Raw column: nx * ny * 4 bytes * 200 steps."""
+    for (nx, ny), (paper_raw, _, _) in TABLE4_OUTPUT.items():
+        assert nx * ny * 4 * 200 == pytest.approx(paper_raw, rel=0.06)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (the native TIFF stack, the measured pipeline compression)
+are session-scoped so each is produced once per ``pytest benchmarks/`` run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.table2 import prepare_native_stack
+from repro.bench.table4 import MeasuredCompression, measure_compression
+
+
+@pytest.fixture(scope="session")
+def native_stack(tmp_path_factory) -> "Path":
+    """A reduced-scale synthetic TIFF stack on disk (96x64x32 uint16)."""
+    return prepare_native_stack(tmp_path_factory.mktemp("table2"))
+
+
+@pytest.fixture(scope="session")
+def measured_compression() -> MeasuredCompression:
+    """One real in-transit pipeline run, reused by the Table IV benches."""
+    return measure_compression(nx=324, ny=130, m=8, n=4, steps=1500, output_every=150)

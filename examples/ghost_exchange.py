@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Ghost-zone exchange via DDR: a distributed 2-D Jacobi heat solver.
+
+Paper §III-B notes that DDR receives may overlap across ranks.  That is
+precisely a halo exchange, so DDR can power iterative stencil codes: every
+rank owns one tile of the domain and *needs* the tile inflated by one ghost
+cell.  This example runs Jacobi diffusion on a process grid and checks the
+distributed result against a serial solve (exact agreement).
+
+Run:  python examples/ghost_exchange.py [--size 64 48] [--iters 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import Box, GhostExchanger
+from repro.mpisim import run_spmd
+from repro.volren import grid_boxes, grid_shape
+
+
+def jacobi_step_serial(field: np.ndarray) -> np.ndarray:
+    """Serial reference: one Jacobi step with fixed (Dirichlet) borders."""
+    out = field.copy()
+    out[1:-1, 1:-1] = 0.25 * (
+        field[:-2, 1:-1] + field[2:, 1:-1] + field[1:-1, :-2] + field[1:-1, 2:]
+    )
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", nargs=2, type=int, default=[64, 48],
+                        metavar=("W", "H"))
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--iters", type=int, default=50)
+    args = parser.parse_args()
+
+    width, height = args.size
+    domain = Box((0, 0), (width, height))
+    grid = grid_shape(args.ranks, (width, height))
+    boxes = grid_boxes((width, height), grid)
+    print(f"Jacobi heat diffusion on {width}x{height}, "
+          f"{args.ranks} ranks in a {grid} grid, {args.iters} iterations")
+
+    # Initial condition: hot left wall, cold elsewhere.
+    initial = np.zeros((height, width))
+    initial[:, 0] = 100.0
+
+    def fn(comm):
+        own = boxes[comm.rank]
+        x0, y0 = own.offset
+        w, h = own.dims
+        ghosts = GhostExchanger(comm, ndims=2, dtype=np.float64)
+        padded_box = ghosts.setup(own, halo=1, domain=domain)
+
+        # Does the padded box actually extend past the tile on each side?
+        has_north = padded_box.offset[1] < y0
+        has_west = padded_box.offset[0] < x0
+        has_south = padded_box.end[1] > y0 + h
+        has_east = padded_box.end[0] > x0 + w
+
+        # Global-border cells hold fixed Dirichlet values; mask them out.
+        ys = np.arange(h) + y0
+        xs = np.arange(w) + x0
+        update_mask = (
+            (ys[:, None] > 0) & (ys[:, None] < height - 1)
+            & (xs[None, :] > 0) & (xs[None, :] < width - 1)
+        )
+
+        interior = initial[y0 : y0 + h, x0 : x0 + w].copy()
+        for _ in range(args.iters):
+            padded = ghosts.exchange(interior)
+            # Normalise to exactly one ghost cell per side: sides clipped at
+            # the domain edge get a replicated row/col, which only feeds
+            # masked (fixed-boundary) cells and never changes the result.
+            full = np.pad(
+                padded,
+                (
+                    (0 if has_north else 1, 0 if has_south else 1),
+                    (0 if has_west else 1, 0 if has_east else 1),
+                ),
+                mode="edge",
+            )
+            center = full[1 : 1 + h, 1 : 1 + w]
+            stencil = 0.25 * (
+                full[0:h, 1 : 1 + w]          # north
+                + full[2 : 2 + h, 1 : 1 + w]  # south
+                + full[1 : 1 + h, 0:w]        # west
+                + full[1 : 1 + h, 2 : 2 + w]  # east
+            )
+            interior = np.where(update_mask, stencil, center)
+        return own, interior
+
+    results = run_spmd(args.ranks, fn)
+
+    reference = initial.copy()
+    for _ in range(args.iters):
+        reference = jacobi_step_serial(reference)
+
+    worst = 0.0
+    for own, interior in results:
+        x0, y0 = own.offset
+        w, h = own.dims
+        expected = reference[y0 : y0 + h, x0 : x0 + w]
+        worst = max(worst, float(np.abs(interior - expected).max()))
+    print(f"max |distributed - serial| after {args.iters} iterations: {worst:.3e}")
+    print("OK" if worst == 0.0 else ("close enough" if worst < 1e-12 else "MISMATCH"))
+
+
+if __name__ == "__main__":
+    main()

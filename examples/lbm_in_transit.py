@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Use case 2: in-transit visualization of a Lattice-Boltzmann flow
+(paper §IV-B, Figures 4-5, Table IV).
+
+M simulation ranks run the D2Q9 flow-past-a-barrier simulation in row
+slabs and stream vorticity to N analysis ranks; the analysis application
+uses DDR to reshape full-width slices into near-square rectangles, renders
+them with the blue-white-red colormap, and writes compressed JPEG frames
+instead of raw floats.
+
+Run:  python examples/lbm_in_transit.py [--grid 324 130] [--m 8] [--n 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.intransit import PipelineConfig, StreamTopology, run_pipeline, sim_to_analysis_map
+from repro.lbm import LbmConfig
+from repro.mpisim import run_spmd
+from repro.volren import grid_boxes, grid_shape
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", nargs=2, type=int, default=[324, 130],
+                        metavar=("NX", "NY"))
+    parser.add_argument("--m", type=int, default=8, help="simulation ranks")
+    parser.add_argument("--n", type=int, default=4, help="analysis ranks")
+    parser.add_argument("--steps", type=int, default=2000)
+    parser.add_argument("--output-every", type=int, default=200)
+    parser.add_argument("--out", type=Path, default=Path("lbm_frames"))
+    parser.add_argument("--variables", nargs="+", default=["vorticity"],
+                        choices=["vorticity", "density", "speed", "ux", "uy"],
+                        help="fields to stream and render per frame")
+    parser.add_argument("--obstacle", choices=["bar", "circle", "none"],
+                        default="bar")
+    args = parser.parse_args()
+
+    nx, ny = args.grid
+    print(f"LBM {nx}x{ny}, barrier at x={nx // 4}; "
+          f"{args.m} sim ranks -> {args.n} analysis ranks")
+
+    mapping = sim_to_analysis_map(args.m, args.n)
+    print("Figure 4 fan-in (analysis rank <- sim ranks):")
+    for a, senders in enumerate(mapping):
+        print(f"  analysis {a} <- sim {senders}")
+
+    topology = StreamTopology(m=args.m, n=args.n, nx=nx, ny=ny)
+    rect_grid = grid_shape(args.n, (nx, ny))
+    rectangles = grid_boxes((nx, ny), rect_grid)
+    print(f"Figure 5 redistribution (slices -> {rect_grid} rectangles):")
+    for a in range(args.n):
+        slabs = [box.dims for _, box in topology.incoming_slabs(a)]
+        print(f"  analysis {a}: in {slabs} -> out {rectangles[a].dims} "
+              f"@ {rectangles[a].offset}")
+
+    config = PipelineConfig(
+        lbm=LbmConfig(nx=nx, ny=ny, obstacle=args.obstacle),
+        m=args.m,
+        n=args.n,
+        steps=args.steps,
+        output_every=args.output_every,
+        save_dir=args.out,
+        variables=tuple(args.variables),
+    )
+
+    start = time.perf_counter()
+    results = run_spmd(args.m + args.n, run_pipeline, config)
+    elapsed = time.perf_counter() - start
+
+    root = next(r for r in results if r.role == "analysis_root")
+    print(f"\nran {args.steps} iterations in {elapsed:.1f}s, "
+          f"saved {root.frames} frames to {args.out}/")
+    print(f"raw would-be size : {root.raw_bytes / 1e6:8.2f} MB")
+    print(f"JPEG actual size  : {root.jpeg_bytes / 1e6:8.2f} MB")
+    print(f"data reduction    : {100 * root.data_reduction:8.2f}%  "
+          f"(paper Table IV: 99.4-99.6% at production scale)")
+    if len(config.variables) > 1:
+        print("per-variable JPEG bytes (paper: 'achieving similar data compression'):")
+        for name, nbytes in sorted(root.jpeg_bytes_by_variable.items()):
+            print(f"  {name:>10}: {nbytes / 1e6:.3f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so editable installs work in offline environments without `wheel`.
+
+``pip install -e .`` (PEP 660) needs the `wheel` package; when it is absent
+(e.g. air-gapped machines), run ``python setup.py develop`` instead.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

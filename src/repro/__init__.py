@@ -1,0 +1,45 @@
+"""repro — reproduction of *Automated Dynamic Data Redistribution* (IPPS 2017).
+
+Public surface:
+
+* the paper's three-call DDR API and the Pythonic :class:`Redistributor`
+  (``repro.core``),
+* the in-process MPI runtime it executes on (``repro.mpisim``),
+* the substrates for the two use cases: TIFF stacks + volume rendering
+  (``repro.imaging``, ``repro.volren``, ``repro.io``) and the LBM simulation
+  with in-transit visualization (``repro.lbm``, ``repro.intransit``,
+  ``repro.viz``, ``repro.jpeg``),
+* the Cooley cluster performance model used to regenerate the paper's
+  timing results (``repro.netmodel``), and
+* the benchmark harnesses that print each paper table/figure
+  (``repro.bench``).
+"""
+
+from .core import (
+    Box,
+    DATA_TYPE_1D,
+    DATA_TYPE_2D,
+    DATA_TYPE_3D,
+    DDR_NewDataDescriptor,
+    DDR_ReorganizeData,
+    DDR_SetupDataMapping,
+    DataDescriptor,
+    DataLayout,
+    Redistributor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "DATA_TYPE_1D",
+    "DATA_TYPE_2D",
+    "DATA_TYPE_3D",
+    "DDR_NewDataDescriptor",
+    "DDR_ReorganizeData",
+    "DDR_SetupDataMapping",
+    "DataDescriptor",
+    "DataLayout",
+    "Redistributor",
+    "__version__",
+]

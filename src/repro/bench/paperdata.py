@@ -1,0 +1,80 @@
+"""Every number the paper's evaluation reports, transcribed verbatim.
+
+Single source of truth for the paper-vs-measured comparisons in the bench
+harnesses, EXPERIMENTS.md, and the shape assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+#: Table II — TIFF load time (seconds): process count -> (no DDR, DDR
+#: round-robin, DDR consecutive).  Mean +/- stddev over 10 runs; we keep
+#: the means and the stddevs separately.
+TABLE2_SECONDS = {
+    27: (283.0, 39.3, 49.2),
+    64: (204.6, 18.9, 18.9),
+    125: (188.2, 11.1, 10.4),
+    216: (165.3, 9.7, 6.6),
+}
+
+TABLE2_STDDEV = {
+    27: (1.7, 0.2, 0.2),
+    64: (1.2, 0.2, 0.1),
+    125: (1.2, 0.1, 0.1),
+    216: (5.9, 0.4, 0.0),
+}
+
+#: Headline claim: "24.9X speed up" at 216 processes.
+TABLE2_MAX_SPEEDUP = 24.9
+
+#: Table III — Alltoallw schedule: process count -> strategy ->
+#: (rounds, MB sent/received per process per round).
+TABLE3_SCHEDULE = {
+    27: {"consecutive": (1, 4315.12), "round_robin": (152, 30.81)},
+    64: {"consecutive": (1, 1920.00), "round_robin": (64, 31.50)},
+    125: {"consecutive": (1, 1006.63), "round_robin": (33, 31.74)},
+    216: {"consecutive": (1, 589.95), "round_robin": (19, 31.85)},
+}
+
+#: The artificial TIFF series of §IV-A.
+TIFF_SERIES = {
+    "n_images": 4096,
+    "width": 4096,
+    "height": 2048,
+    "bits": 32,
+    "total_bytes": 128 * 2**30,
+}
+
+#: Table IV — in-transit output sizes: grid -> (raw, processed, reduction).
+#: Sizes are the paper's printed strings converted to bytes (decimal units).
+TABLE4_OUTPUT = {
+    (3238, 1295): (3.2e9, 19.9e6, 0.9938),
+    (6476, 2590): (12.8e9, 61.0e6, 0.9952),
+    (12952, 5180): (51.2e9, 217.8e6, 0.9957),
+    (25904, 10360): (204.7e9, 830.9e6, 0.9959),
+}
+
+#: §IV-B run parameters.
+LBM_RUN = {
+    "sim_ranks": 128,
+    "analysis_ranks": 32,
+    "iterations": 20000,
+    "output_every": 100,
+    "saved_steps": 200,
+}
+
+#: Figure 4's illustration: 10 simulation ranks stream to 4 analysis ranks.
+FIGURE4_EXAMPLE = {"m": 10, "n": 4, "per_analysis": [3, 3, 2, 2]}
+
+#: Table I — E1's DDR_SetupDataMapping parameters (per rank).
+TABLE1_E1 = {
+    rank: {
+        "P1": rank,
+        "P2": 4,
+        "P3": 2,
+        "P4": [[8, 1], [8, 1]],
+        "P5": [[0, rank], [0, rank + 4]],
+        "P6": [4, 4],
+        "P7": [4 * (rank % 2), 4 * (rank // 2)],
+    }
+    for rank in range(4)
+}

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Each harness prints rows in the same arrangement as the paper's tables so
+paper-vs-measured comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative error of measured vs the paper's value."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return (measured - reference) / reference
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:+.1f}%"

@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <artifact>``.
+
+Each subcommand regenerates one paper artifact and prints it next to the
+published numbers (the same harnesses `examples/reproduce_paper.py` and the
+benchmark suite use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def _cmd_e1(args: argparse.Namespace) -> int:
+    from .bench import e1
+
+    print(e1.report())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .bench import table2
+
+    print(table2.report_model(network=args.network))
+    if args.native:
+        stack_dir = table2.prepare_native_stack(
+            Path(tempfile.mkdtemp(prefix="ddr_cli_t2_"))
+        )
+        print()
+        print(table2.report_native(stack_dir))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .bench import table3
+
+    print(table3.report())
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from .bench import table4
+
+    if args.fast:
+        measured = table4.measure_compression(
+            nx=162, ny=65, m=4, n=2, steps=600, output_every=100
+        )
+        print(table4.report(measured))
+    else:
+        _, measured, fit = table4.measure_two_scales()
+        print(table4.report(measured, fit))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from .bench import fig3
+
+    print(fig3.report())
+    return 0
+
+
+def _cmd_fig45(args: argparse.Namespace) -> int:
+    from .bench import fig45
+
+    print(fig45.report())
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .io.assignment import StackGeometry
+    from .netmodel import COOLEY, tornado
+
+    stack = StackGeometry(width=1024, height=512, n_images=512, bytes_per_pixel=4)
+    print("headline-speedup tornado (+-30% per fitted model constant):")
+    for bar in tornado(cluster=COOLEY, stack=stack):
+        print(
+            f"  {bar.parameter:>24}: {bar.low_speedup:6.1f}x .. "
+            f"{bar.high_speedup:6.1f}x (swing {bar.swing:5.1f})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of 'Automated Dynamic Data "
+        "Redistribution' (IPPS 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("e1", help="Table I / Figure 1: the E1 example").set_defaults(
+        fn=_cmd_e1
+    )
+
+    p2 = sub.add_parser("table2", help="Table II: TIFF load time")
+    p2.add_argument("--network", choices=("analytic", "des"), default="analytic")
+    p2.add_argument("--native", action="store_true",
+                    help="also execute the native-scale loaders")
+    p2.set_defaults(fn=_cmd_table2)
+
+    sub.add_parser(
+        "table3", help="Table III: Alltoallw scheduling (exact)"
+    ).set_defaults(fn=_cmd_table3)
+
+    p4 = sub.add_parser("table4", help="Table IV: raw vs JPEG output size")
+    p4.add_argument("--fast", action="store_true", help="single small run")
+    p4.set_defaults(fn=_cmd_table4)
+
+    sub.add_parser("fig3", help="Figure 3: strong scaling").set_defaults(fn=_cmd_fig3)
+    sub.add_parser(
+        "fig45", help="Figures 4-5: M-to-N streaming layout"
+    ).set_defaults(fn=_cmd_fig45)
+    sub.add_parser(
+        "sensitivity", help="model-calibration tornado (beyond the paper)"
+    ).set_defaults(fn=_cmd_sensitivity)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

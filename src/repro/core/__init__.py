@@ -1,0 +1,66 @@
+"""DDR core: the paper's contribution (descriptor, mapping, reorganization)."""
+
+from .api import (
+    DDR_NewDataDescriptor,
+    DDR_ReorganizeData,
+    DDR_SetupDataMapping,
+    Redistributor,
+)
+from .box import Box, boxes_from_flat, intersect_many
+from .halo import GhostExchanger, inflate_box
+from .descriptor import (
+    DATA_TYPE_1D,
+    DATA_TYPE_2D,
+    DATA_TYPE_3D,
+    DataDescriptor,
+    DataLayout,
+)
+from .mapping import LocalMapping, plan_from_declarations, setup_data_mapping
+from .p2p import message_count_p2p, reorganize_data_p2p
+from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry, compute_global_plan
+from .reorganize import reorganize_data, reorganize_rounds
+from .serialize import (
+    attach_loaded_plan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from .validate import MappingValidationError, check_send_coverage, infer_domain
+
+__all__ = [
+    "Box",
+    "DATA_TYPE_1D",
+    "DATA_TYPE_2D",
+    "DATA_TYPE_3D",
+    "DDR_NewDataDescriptor",
+    "DDR_ReorganizeData",
+    "DDR_SetupDataMapping",
+    "DataDescriptor",
+    "DataLayout",
+    "GhostExchanger",
+    "GlobalPlan",
+    "LocalMapping",
+    "MappingValidationError",
+    "RankPlan",
+    "RecvEntry",
+    "Redistributor",
+    "SendEntry",
+    "attach_loaded_plan",
+    "boxes_from_flat",
+    "check_send_coverage",
+    "compute_global_plan",
+    "infer_domain",
+    "inflate_box",
+    "intersect_many",
+    "load_plan",
+    "message_count_p2p",
+    "plan_from_declarations",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+    "reorganize_data",
+    "reorganize_data_p2p",
+    "reorganize_rounds",
+    "setup_data_mapping",
+]

@@ -1,0 +1,176 @@
+"""The DDR public API.
+
+Two layers:
+
+1. The paper's three C-style calls, parameter-for-parameter (Algorithm 1 /
+   Table I): :func:`DDR_NewDataDescriptor`, :func:`DDR_SetupDataMapping`,
+   :func:`DDR_ReorganizeData`.  The only deviation from the C signatures is
+   an explicit ``comm`` argument where the C library implicitly used
+   ``MPI_COMM_WORLD`` — unavoidable in an in-process runtime that may host
+   several worlds at once.
+
+2. :class:`Redistributor`, the idiomatic wrapper the rest of this repository
+   builds on (boxes instead of flat arrays, backend selection, reuse across
+   time steps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..mpisim.comm import Communicator
+from ..mpisim.datatypes import NamedType
+from .box import Box, boxes_from_flat
+from .descriptor import DataDescriptor, DataLayout
+from .mapping import LocalMapping, setup_data_mapping
+from .p2p import reorganize_data_p2p
+from .plan import GlobalPlan
+from .reorganize import reorganize_data
+
+
+def DDR_NewDataDescriptor(
+    nprocs: int,
+    layout: DataLayout | int,
+    mpi_type: NamedType | np.dtype | type | str,
+    element_size: Optional[int] = None,
+) -> DataDescriptor:
+    """Create the opaque descriptor (paper §III-A).
+
+    Parameters mirror the C call: process count, ``DATA_TYPE_{1,2,3}D``,
+    the element MPI type, and the element byte size (``sizeof(float)``).
+    """
+    return DataDescriptor.create(nprocs, layout, mpi_type, element_size)
+
+
+def DDR_SetupDataMapping(
+    comm: Communicator,
+    rank: int,
+    nprocs: int,
+    chunks_own: int,
+    dims_own: Sequence[int],
+    offsets_own: Sequence[int],
+    dims_need: Sequence[int],
+    offsets_need: Sequence[int],
+    descriptor: DataDescriptor,
+    validate: bool = True,
+) -> None:
+    """Collective mapping setup (paper §III-B, Table I parameters P1-P8).
+
+    ``dims_own``/``offsets_own`` are the flat per-chunk arrays of Algorithm 1
+    (``chunks_own * ndims`` values each, fastest axis first);
+    ``dims_need``/``offsets_need`` describe the single needed chunk.
+    """
+    if rank != comm.rank:
+        raise ValueError(f"rank argument {rank} does not match communicator rank {comm.rank}")
+    if nprocs != comm.size:
+        raise ValueError(
+            f"nprocs argument {nprocs} does not match communicator size {comm.size}"
+        )
+    ndims = descriptor.ndims
+    own_boxes = boxes_from_flat(chunks_own, ndims, dims_own, offsets_own)
+    need_dims = [int(v) for v in np.asarray(dims_need).reshape(-1)]
+    need_offsets = [int(v) for v in np.asarray(offsets_need).reshape(-1)]
+    if len(need_dims) != ndims or len(need_offsets) != ndims:
+        raise ValueError(
+            f"need dims/offsets must have {ndims} values, got "
+            f"{len(need_dims)}/{len(need_offsets)}"
+        )
+    need = Box(tuple(need_offsets), tuple(need_dims))
+    setup_data_mapping(comm, descriptor, own_boxes, need, validate=validate)
+
+
+def DDR_ReorganizeData(
+    comm: Communicator,
+    nprocs: int,
+    data_own: Union[np.ndarray, Sequence[np.ndarray], None],
+    data_need: Optional[np.ndarray],
+    descriptor: DataDescriptor,
+) -> None:
+    """Exchange the data (paper §III-C): one ``Alltoallw`` per round."""
+    if nprocs != comm.size:
+        raise ValueError(
+            f"nprocs argument {nprocs} does not match communicator size {comm.size}"
+        )
+    reorganize_data(comm, descriptor, data_own, data_need)
+
+
+class Redistributor:
+    """Reusable DDR pipeline for one (layout, dtype, communicator) triple.
+
+    >>> red = Redistributor(comm, ndims=2, dtype=np.float32)
+    >>> red.setup(own=[Box((0, rank), (8, 1)), Box((0, rank + 4), (8, 1))],
+    ...           need=Box((4 * (rank % 2), 4 * (rank // 2)), (4, 4)))
+    >>> red.exchange([row0, row1], quadrant)
+
+    ``exchange`` may be called every time step on fresh data — the mapping
+    is computed once (the paper's "dynamic data" property).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        ndims: int,
+        dtype: np.dtype | type | str,
+        backend: str = "alltoallw",
+        components: int = 1,
+    ) -> None:
+        self.comm = comm
+        self.descriptor = DataDescriptor.create(
+            comm.size, DataLayout(ndims), dtype, components=components
+        )
+        self.set_backend(backend)
+
+    def set_backend(self, backend: str) -> None:
+        if backend not in ("alltoallw", "p2p"):
+            raise ValueError(f"unknown backend {backend!r} (use 'alltoallw' or 'p2p')")
+        self.backend = backend
+
+    def setup(
+        self,
+        own: Sequence[Box],
+        need: Optional[Box],
+        validate: bool = True,
+    ) -> LocalMapping:
+        """Collective; every rank passes its own chunks and its needed box."""
+        return setup_data_mapping(self.comm, self.descriptor, own, need, validate=validate)
+
+    @property
+    def mapping(self) -> LocalMapping:
+        mapping = self.descriptor.plan
+        if not isinstance(mapping, LocalMapping):
+            raise RuntimeError("setup() has not been called")
+        return mapping
+
+    @property
+    def nrounds(self) -> int:
+        return self.mapping.nrounds
+
+    def exchange(
+        self,
+        own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
+        need_buffer: Optional[np.ndarray],
+    ) -> None:
+        """Redistribute one generation of data through the prepared mapping."""
+        if self.backend == "p2p":
+            reorganize_data_p2p(self.comm, self.descriptor, own_buffers, need_buffer)
+        else:
+            reorganize_data(self.comm, self.descriptor, own_buffers, need_buffer)
+
+    def gather_need(
+        self,
+        own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
+        fill: float | int = 0,
+    ) -> Optional[np.ndarray]:
+        """Convenience: allocate the need buffer, exchange, and return it."""
+        need = self.mapping.need
+        if need is None or need.is_empty():
+            self.exchange(own_buffers, None)
+            return None
+        shape = need.np_shape()
+        if self.descriptor.components > 1:
+            shape = shape + (self.descriptor.components,)
+        out = np.full(shape, fill, dtype=self.descriptor.dtype)
+        self.exchange(own_buffers, out)
+        return out

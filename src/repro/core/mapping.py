@@ -1,0 +1,133 @@
+"""``DDR_SetupDataMapping`` internals: the collective mapping step.
+
+Each rank declares only its *local* picture — the chunks it owns and the
+single chunk it needs (paper §III-B, Table I).  The mapping step is a
+collective: ranks allgather their declarations, every rank runs the same
+deterministic planner (:func:`repro.core.plan.compute_global_plan`), and
+each keeps its own :class:`LocalMapping` (plan slice + prebuilt datatypes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..mpisim.comm import Communicator
+from .box import Box
+from .descriptor import DataDescriptor
+from .packing import RoundTypes, build_round_types
+from .plan import GlobalPlan, RankPlan, compute_global_plan
+from .validate import (
+    check_receives_within_domain,
+    check_send_coverage,
+    infer_domain,
+)
+
+
+@dataclass
+class LocalMapping:
+    """One rank's ready-to-execute schedule, stored on the descriptor."""
+
+    rank: int
+    nprocs: int
+    nrounds: int
+    plan: RankPlan
+    rounds: list[RoundTypes]
+    domain: Optional[Box]
+
+    @property
+    def own_chunks(self) -> list[Box]:
+        return self.plan.own_chunks
+
+    @property
+    def need(self) -> Optional[Box]:
+        return self.plan.need
+
+
+def plan_from_declarations(
+    owns: Sequence[Sequence[Box]],
+    needs: Sequence[Optional[Box]],
+    descriptor: DataDescriptor,
+    validate: bool = True,
+) -> tuple[GlobalPlan, Optional[Box]]:
+    """Validate global declarations and compute the full plan (pure)."""
+    domain: Optional[Box]
+    if validate:
+        domain = check_send_coverage(owns)
+        check_receives_within_domain(needs, domain)
+    else:
+        domain = infer_domain(owns)
+    plan = compute_global_plan(
+        owns, needs, descriptor.element_size, ndims=descriptor.ndims
+    )
+    return plan, domain
+
+
+def local_mapping_from_global(
+    global_plan: GlobalPlan,
+    domain: Optional[Box],
+    rank: int,
+    descriptor: DataDescriptor,
+) -> LocalMapping:
+    plan = global_plan.rank_plans[rank]
+    rounds = build_round_types(
+        plan,
+        global_plan.nprocs,
+        global_plan.nrounds,
+        descriptor.mpi_type,
+        descriptor.components,
+    )
+    return LocalMapping(
+        rank=rank,
+        nprocs=global_plan.nprocs,
+        nrounds=global_plan.nrounds,
+        plan=plan,
+        rounds=rounds,
+        domain=domain,
+    )
+
+
+def setup_data_mapping(
+    comm: Communicator,
+    descriptor: DataDescriptor,
+    own_chunks: Sequence[Box],
+    need: Optional[Box],
+    validate: bool = True,
+) -> LocalMapping:
+    """Collective: exchange declarations, plan, and attach the result.
+
+    Must be called by every rank of ``comm`` with its own declarations.
+    The computed :class:`LocalMapping` is stored on ``descriptor.plan``,
+    mirroring the paper's opaque-descriptor lifecycle, and also returned.
+    """
+    if comm.size != descriptor.nprocs:
+        raise ValueError(
+            f"descriptor was created for {descriptor.nprocs} processes but the "
+            f"communicator has {comm.size}"
+        )
+    for box in own_chunks:
+        if box.ndim != descriptor.ndims:
+            raise ValueError(
+                f"chunk {box} has {box.ndim} dims, descriptor declares {descriptor.ndims}"
+            )
+    if need is not None and need.ndim != descriptor.ndims:
+        raise ValueError(
+            f"need {need} has {need.ndim} dims, descriptor declares {descriptor.ndims}"
+        )
+
+    declaration = (
+        [(box.offset, box.dims) for box in own_chunks],
+        (need.offset, need.dims) if need is not None else None,
+    )
+    gathered = comm.allgather(declaration)
+
+    owns: list[list[Box]] = []
+    needs: list[Optional[Box]] = []
+    for own_decl, need_decl in gathered:
+        owns.append([Box(offset, dims) for offset, dims in own_decl])
+        needs.append(Box(*need_decl) if need_decl is not None else None)
+
+    global_plan, domain = plan_from_declarations(owns, needs, descriptor, validate)
+    local = local_mapping_from_global(global_plan, domain, comm.rank, descriptor)
+    descriptor.plan = local
+    return local

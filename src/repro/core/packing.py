@@ -1,0 +1,137 @@
+"""Datatype construction: plan entries -> MPI subarray types (paper §III-C).
+
+The paper: "custom subarray types are needed to describe multidimensional
+subsets of data", hence ``MPI_Alltoallw`` rather than ``MPI_Alltoallv``.
+Each :class:`~repro.core.plan.SendEntry` becomes a subarray type *within the
+owned chunk's buffer*; each :class:`~repro.core.plan.RecvEntry` becomes a
+subarray type *within the need buffer*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..mpisim.datatypes import NamedType, SubarrayType
+from .box import Box
+from .plan import RankPlan, RecvEntry, SendEntry
+
+
+def subarray_for(
+    container: Box, region: Box, mpi_type: NamedType, components: int = 1
+) -> SubarrayType:
+    """Subarray type selecting ``region`` out of a buffer shaped like ``container``.
+
+    Both boxes are in global paper-order coordinates; the result is expressed
+    in the C-order coordinates of the container's NumPy buffer.  With
+    ``components > 1`` each cell is an interleaved record of that many base
+    values, stored as a trailing (fastest) axis of the buffer.
+    """
+    sizes = container.np_shape()
+    subsizes = region.np_shape()
+    starts = region.np_starts_within(container)
+    if components > 1:
+        sizes = sizes + (components,)
+        subsizes = subsizes + (components,)
+        starts = starts + (0,)
+    return SubarrayType(mpi_type, sizes=sizes, subsizes=subsizes, starts=starts)
+
+
+@dataclass
+class RoundTypes:
+    """Prebuilt datatypes for one ``Alltoallw`` round on one rank."""
+
+    round: int
+    chunk_index: Optional[int]  # which owned buffer feeds this round (None: no send)
+    sendtypes: list[Optional[SubarrayType]]  # one slot per peer rank
+    recvtypes: list[Optional[SubarrayType]]
+
+
+def build_round_types(
+    plan: RankPlan,
+    nprocs: int,
+    nrounds: int,
+    mpi_type: NamedType,
+    components: int = 1,
+) -> list[RoundTypes]:
+    """Materialise the per-round type tables the reorganize step will replay.
+
+    The paper notes the setup runs once and ``DDR_ReorganizeData`` can then
+    be called repeatedly on fresh data; prebuilding the types here is what
+    makes that cheap.
+    """
+    rounds: list[RoundTypes] = []
+    for round_index in range(nrounds):
+        sendtypes: list[Optional[SubarrayType]] = [None] * nprocs
+        recvtypes: list[Optional[SubarrayType]] = [None] * nprocs
+        chunk_index: Optional[int] = (
+            round_index if round_index < len(plan.own_chunks) else None
+        )
+        for entry in plan.sends_in_round(round_index):
+            sendtypes[entry.dest] = subarray_for(
+                entry.chunk, entry.overlap, mpi_type, components
+            )
+        for entry in plan.recvs_in_round(round_index):
+            assert plan.need is not None
+            recvtypes[entry.source] = subarray_for(
+                plan.need, entry.overlap, mpi_type, components
+            )
+        rounds.append(RoundTypes(round_index, chunk_index, sendtypes, recvtypes))
+    return rounds
+
+
+def check_buffers(
+    plan: RankPlan,
+    dtype: np.dtype,
+    data_own: list[np.ndarray],
+    data_need: Optional[np.ndarray],
+    components: int = 1,
+) -> tuple[list[np.ndarray], Optional[np.ndarray]]:
+    """Validate user buffers against the plan geometry; returns normalised views.
+
+    Owned buffers may be passed with the natural C-order shape of their chunk
+    (with a trailing component axis when ``components > 1``) or flat; either
+    way they must be C-contiguous and hold exactly ``volume * components``
+    base values.
+    """
+    if len(data_own) != len(plan.own_chunks):
+        raise ValueError(
+            f"rank {plan.rank}: {len(data_own)} owned buffers for "
+            f"{len(plan.own_chunks)} declared chunks"
+        )
+    own_norm: list[np.ndarray] = []
+    for index, (chunk, buf) in enumerate(zip(plan.own_chunks, data_own)):
+        arr = np.asarray(buf)
+        if arr.dtype != dtype:
+            raise ValueError(
+                f"rank {plan.rank} chunk {index}: buffer dtype {arr.dtype} != descriptor {dtype}"
+            )
+        if arr.size != chunk.volume() * components:
+            raise ValueError(
+                f"rank {plan.rank} chunk {index}: buffer has {arr.size} values, "
+                f"chunk {chunk} needs {chunk.volume()} x {components}"
+            )
+        if not arr.flags["C_CONTIGUOUS"]:
+            raise ValueError(f"rank {plan.rank} chunk {index}: buffer must be C-contiguous")
+        own_norm.append(arr)
+
+    need_norm: Optional[np.ndarray] = None
+    if plan.need is not None and not plan.need.is_empty():
+        if data_need is None:
+            raise ValueError(f"rank {plan.rank} declared a need but passed no need buffer")
+        arr = np.asarray(data_need)
+        if arr.dtype != dtype:
+            raise ValueError(
+                f"rank {plan.rank}: need buffer dtype {arr.dtype} != descriptor {dtype}"
+            )
+        if arr.size != plan.need.volume() * components:
+            raise ValueError(
+                f"rank {plan.rank}: need buffer has {arr.size} values, "
+                f"need {plan.need} needs {plan.need.volume()} x {components}"
+            )
+        if not arr.flags["C_CONTIGUOUS"]:
+            raise ValueError(f"rank {plan.rank}: need buffer must be C-contiguous")
+        need_norm = arr
+    return own_norm, need_norm

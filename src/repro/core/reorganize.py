@@ -1,0 +1,70 @@
+"""``DDR_ReorganizeData``: execute the exchange (paper §III-C).
+
+One ``Alltoallw`` per round; round ``c`` drains chunk slot ``c`` on every
+rank.  Because the setup step prebuilt all subarray datatypes, this function
+is safe to call repeatedly on *new data with the same layout* — the paper's
+"dynamic data" property used by the in-transit use case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..mpisim.comm import Communicator
+from .descriptor import DataDescriptor
+from .mapping import LocalMapping
+from .packing import check_buffers
+
+
+def _normalise_own(data_own: Union[np.ndarray, Sequence[np.ndarray], None]) -> list[np.ndarray]:
+    if data_own is None:
+        return []
+    if isinstance(data_own, np.ndarray):
+        return [data_own]
+    return list(data_own)
+
+
+def reorganize_data(
+    comm: Communicator,
+    descriptor: DataDescriptor,
+    data_own: Union[np.ndarray, Sequence[np.ndarray], None],
+    data_need: Optional[np.ndarray],
+) -> None:
+    """Redistribute: fill ``data_need`` from everyone's ``data_own`` buffers.
+
+    ``data_own`` is one buffer per owned chunk (a single array is accepted
+    for the common one-chunk case); ``data_need`` is the single buffer for
+    this rank's needed box.  Buffers may be flat or chunk-shaped but must be
+    C-contiguous and exactly sized.
+    """
+    mapping = descriptor.plan
+    if not isinstance(mapping, LocalMapping):
+        raise RuntimeError(
+            "DDR_SetupDataMapping must be called before DDR_ReorganizeData"
+        )
+    if comm.size != mapping.nprocs or comm.rank != mapping.rank:
+        raise ValueError(
+            f"communicator (rank {comm.rank}/{comm.size}) does not match the "
+            f"mapping (rank {mapping.rank}/{mapping.nprocs})"
+        )
+
+    own = _normalise_own(data_own)
+    own, need = check_buffers(
+        mapping.plan, descriptor.dtype, own, data_need, descriptor.components
+    )
+
+    for round_types in mapping.rounds:
+        sendbuf: Optional[np.ndarray] = None
+        if round_types.chunk_index is not None:
+            sendbuf = own[round_types.chunk_index]
+        comm.Alltoallw(sendbuf, round_types.sendtypes, need, round_types.recvtypes)
+
+
+def reorganize_rounds(descriptor: DataDescriptor) -> int:
+    """Number of ``Alltoallw`` calls one :func:`reorganize_data` will make."""
+    mapping = descriptor.plan
+    if not isinstance(mapping, LocalMapping):
+        raise RuntimeError("mapping not set up")
+    return mapping.nrounds

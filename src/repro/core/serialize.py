@@ -1,0 +1,128 @@
+"""Persistence for computed plans.
+
+At production scale the geometric planning in ``DDR_SetupDataMapping`` is
+non-trivial (Table III's 216-rank round-robin schedule intersects 4096
+chunks with 216 needs).  Since the mapping depends only on the declared
+geometry, it can be computed once, saved as JSON, and reloaded by later
+runs — an engineering extension the paper's "setup once" design invites.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from .box import Box
+from .descriptor import DataDescriptor
+from .mapping import LocalMapping, local_mapping_from_global
+from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry
+
+FORMAT_VERSION = 1
+
+
+def _box_to_list(box: Optional[Box]) -> Optional[list[list[int]]]:
+    if box is None:
+        return None
+    return [list(box.offset), list(box.dims)]
+
+
+def _box_from_list(data: Optional[list]) -> Optional[Box]:
+    if data is None:
+        return None
+    offset, dims = data
+    return Box(tuple(offset), tuple(dims))
+
+
+def plan_to_dict(plan: GlobalPlan) -> dict:
+    """Lossless JSON-safe representation of a :class:`GlobalPlan`."""
+    return {
+        "version": FORMAT_VERSION,
+        "nprocs": plan.nprocs,
+        "ndims": plan.ndims,
+        "element_size": plan.element_size,
+        "nrounds": plan.nrounds,
+        "ranks": [
+            {
+                "rank": p.rank,
+                "own": [_box_to_list(b) for b in p.own_chunks],
+                "need": _box_to_list(p.need),
+                "sends": [
+                    [s.round, s.dest, s.chunk_index, _box_to_list(s.chunk),
+                     _box_to_list(s.overlap)]
+                    for s in p.sends
+                ],
+                "recvs": [
+                    [r.round, r.source, _box_to_list(r.overlap)] for r in p.recvs
+                ],
+            }
+            for p in plan.rank_plans
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> GlobalPlan:
+    """Inverse of :func:`plan_to_dict`; validates the format version."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {version!r}")
+    rank_plans = []
+    for entry in data["ranks"]:
+        sends = [
+            SendEntry(rnd, dest, chunk_index, _box_from_list(chunk), _box_from_list(overlap))
+            for rnd, dest, chunk_index, chunk, overlap in entry["sends"]
+        ]
+        recvs = [
+            RecvEntry(rnd, source, _box_from_list(overlap))
+            for rnd, source, overlap in entry["recvs"]
+        ]
+        rank_plans.append(
+            RankPlan(
+                rank=entry["rank"],
+                own_chunks=[_box_from_list(b) for b in entry["own"]],
+                need=_box_from_list(entry["need"]),
+                sends=sends,
+                recvs=recvs,
+            )
+        )
+    return GlobalPlan(
+        nprocs=int(data["nprocs"]),
+        ndims=int(data["ndims"]),
+        element_size=int(data["element_size"]),
+        rank_plans=rank_plans,
+        nrounds=int(data["nrounds"]),
+    )
+
+
+def save_plan(path, plan: GlobalPlan) -> None:
+    """Write a plan to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan)))
+
+
+def load_plan(path) -> GlobalPlan:
+    """Read a plan written by :func:`save_plan`."""
+    return plan_from_dict(json.loads(Path(path).read_text()))
+
+
+def attach_loaded_plan(
+    descriptor: DataDescriptor, plan: GlobalPlan, rank: int
+) -> LocalMapping:
+    """Install a precomputed plan on a descriptor (replacing the collective
+    setup step) and return the rank's :class:`LocalMapping`."""
+    if plan.nprocs != descriptor.nprocs:
+        raise ValueError(
+            f"plan was computed for {plan.nprocs} ranks, descriptor declares "
+            f"{descriptor.nprocs}"
+        )
+    if plan.ndims != descriptor.ndims:
+        raise ValueError(
+            f"plan is {plan.ndims}-D, descriptor declares {descriptor.ndims}-D"
+        )
+    if plan.element_size != descriptor.element_size:
+        raise ValueError(
+            f"plan element size {plan.element_size} != descriptor "
+            f"{descriptor.element_size}"
+        )
+    local = local_mapping_from_global(plan, None, rank, descriptor)
+    descriptor.plan = local
+    return local

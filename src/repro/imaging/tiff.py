@@ -1,0 +1,282 @@
+"""A from-scratch baseline TIFF reader/writer (grayscale, strip-based).
+
+The paper's first use case loads series of grayscale TIFF images (8-, 16-
+and 32-bit CT slices).  No imaging library is assumed here: this module
+implements the subset of TIFF 6.0 the use case needs — single-sample
+grayscale, uncompressed strips, little- or big-endian, unsigned-integer or
+IEEE-float samples.
+
+Crucially it shares the property the paper's argument rests on: *the whole
+image must be read and decoded even if only a few pixels are needed*
+(§IV-A) — the reader returns full 2-D arrays only.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO
+
+import numpy as np
+
+# TIFF tag ids (TIFF 6.0 spec).
+TAG_IMAGE_WIDTH = 256
+TAG_IMAGE_LENGTH = 257
+TAG_BITS_PER_SAMPLE = 258
+TAG_COMPRESSION = 259
+TAG_PHOTOMETRIC = 262
+TAG_STRIP_OFFSETS = 273
+TAG_SAMPLES_PER_PIXEL = 277
+TAG_ROWS_PER_STRIP = 278
+TAG_STRIP_BYTE_COUNTS = 279
+TAG_SAMPLE_FORMAT = 339
+
+# TIFF field types.
+TYPE_SHORT = 3  # uint16
+TYPE_LONG = 4  # uint32
+
+COMPRESSION_NONE = 1
+PHOTOMETRIC_BLACK_IS_ZERO = 1
+SAMPLE_FORMAT_UINT = 1
+SAMPLE_FORMAT_FLOAT = 3
+
+_TYPE_SIZE = {TYPE_SHORT: 2, TYPE_LONG: 4}
+
+#: dtype -> (bits, sample_format)
+_SUPPORTED_DTYPES = {
+    np.dtype(np.uint8): (8, SAMPLE_FORMAT_UINT),
+    np.dtype(np.uint16): (16, SAMPLE_FORMAT_UINT),
+    np.dtype(np.uint32): (32, SAMPLE_FORMAT_UINT),
+    np.dtype(np.float32): (32, SAMPLE_FORMAT_FLOAT),
+}
+
+
+class TiffError(ValueError):
+    """Malformed file or unsupported TIFF feature."""
+
+
+def _dtype_for(bits: int, sample_format: int) -> np.dtype:
+    for dtype, (b, fmt) in _SUPPORTED_DTYPES.items():
+        if (b, fmt) == (bits, sample_format):
+            return dtype
+    raise TiffError(f"unsupported sample: {bits}-bit, format {sample_format}")
+
+
+@dataclass(frozen=True)
+class TiffInfo:
+    """Parsed metadata of one grayscale TIFF image."""
+
+    width: int
+    height: int
+    dtype: np.dtype
+    strip_offsets: tuple[int, ...]
+    strip_byte_counts: tuple[int, ...]
+    rows_per_strip: int
+    byte_order: str  # "<" or ">"
+
+    @property
+    def nbytes(self) -> int:
+        return self.width * self.height * self.dtype.itemsize
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def write_tiff(path_or_file, image: np.ndarray, rows_per_strip: int = 64) -> int:
+    """Write a grayscale image as an uncompressed little-endian TIFF.
+
+    ``image`` is ``(height, width)`` with one of the supported dtypes.
+    Returns the number of bytes written.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise TiffError(f"expected a 2-D grayscale image, got shape {image.shape}")
+    if image.dtype not in _SUPPORTED_DTYPES:
+        raise TiffError(f"unsupported dtype {image.dtype}")
+    if rows_per_strip < 1:
+        raise TiffError(f"rows_per_strip must be >= 1, got {rows_per_strip}")
+
+    if hasattr(path_or_file, "write"):
+        return _write_tiff_stream(path_or_file, image, rows_per_strip)
+    with open(path_or_file, "wb") as handle:
+        return _write_tiff_stream(handle, image, rows_per_strip)
+
+
+def _write_tiff_stream(out: BinaryIO, image: np.ndarray, rows_per_strip: int) -> int:
+    height, width = image.shape
+    bits, sample_format = _SUPPORTED_DTYPES[image.dtype]
+    row_bytes = width * image.dtype.itemsize
+
+    n_strips = (height + rows_per_strip - 1) // rows_per_strip
+    strip_rows = [
+        min(rows_per_strip, height - s * rows_per_strip) for s in range(n_strips)
+    ]
+    strip_byte_counts = [rows * row_bytes for rows in strip_rows]
+
+    # Layout: header (8) | pixel strips | [offset arrays] | IFD
+    header_size = 8
+    data_start = header_size
+    strip_offsets = []
+    cursor = data_start
+    for count in strip_byte_counts:
+        strip_offsets.append(cursor)
+        cursor += count
+
+    # Out-of-line arrays for StripOffsets/StripByteCounts when > 1 strip.
+    extra_start = cursor
+    extra = b""
+    if n_strips > 1:
+        offsets_pos = extra_start
+        extra += struct.pack(f"<{n_strips}I", *strip_offsets)
+        counts_pos = extra_start + len(extra)
+        extra += struct.pack(f"<{n_strips}I", *strip_byte_counts)
+    ifd_offset = extra_start + len(extra)
+
+    entries = []
+
+    def entry(tag: int, field_type: int, count: int, value: int) -> None:
+        entries.append(struct.pack("<HHI4s", tag, field_type, count, struct.pack("<I", value)))
+
+    entry(TAG_IMAGE_WIDTH, TYPE_LONG, 1, width)
+    entry(TAG_IMAGE_LENGTH, TYPE_LONG, 1, height)
+    entry(TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, bits)
+    entry(TAG_COMPRESSION, TYPE_SHORT, 1, COMPRESSION_NONE)
+    entry(TAG_PHOTOMETRIC, TYPE_SHORT, 1, PHOTOMETRIC_BLACK_IS_ZERO)
+    if n_strips > 1:
+        entry(TAG_STRIP_OFFSETS, TYPE_LONG, n_strips, offsets_pos)
+    else:
+        entry(TAG_STRIP_OFFSETS, TYPE_LONG, 1, strip_offsets[0])
+    entry(TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, 1)
+    entry(TAG_ROWS_PER_STRIP, TYPE_LONG, 1, rows_per_strip)
+    if n_strips > 1:
+        entry(TAG_STRIP_BYTE_COUNTS, TYPE_LONG, n_strips, counts_pos)
+    else:
+        entry(TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1, strip_byte_counts[0])
+    entry(TAG_SAMPLE_FORMAT, TYPE_SHORT, 1, sample_format)
+
+    written = 0
+    written += out.write(struct.pack("<2sHI", b"II", 42, ifd_offset))
+    pixels = np.ascontiguousarray(image)
+    if pixels.dtype.byteorder == ">":  # normalise to little-endian payload
+        pixels = pixels.astype(pixels.dtype.newbyteorder("<"))
+    written += out.write(pixels.tobytes())
+    written += out.write(extra)
+    written += out.write(struct.pack("<H", len(entries)))
+    for packed in entries:
+        written += out.write(packed)
+    written += out.write(struct.pack("<I", 0))  # no next IFD
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+def read_tiff_info(data: bytes) -> TiffInfo:
+    """Parse the header + first IFD of an in-memory TIFF."""
+    if len(data) < 8:
+        raise TiffError("file too small for a TIFF header")
+    order_mark = data[:2]
+    if order_mark == b"II":
+        bo = "<"
+    elif order_mark == b"MM":
+        bo = ">"
+    else:
+        raise TiffError(f"bad byte-order mark {order_mark!r}")
+    magic, ifd_offset = struct.unpack(bo + "HI", data[2:8])
+    if magic != 42:
+        raise TiffError(f"bad TIFF magic {magic}")
+
+    if ifd_offset + 2 > len(data):
+        raise TiffError("IFD offset out of range")
+    (n_entries,) = struct.unpack_from(bo + "H", data, ifd_offset)
+    fields: dict[int, tuple[int, ...]] = {}
+    pos = ifd_offset + 2
+    for _ in range(n_entries):
+        if pos + 12 > len(data):
+            raise TiffError("truncated IFD entry")
+        tag, ftype, count = struct.unpack_from(bo + "HHI", data, pos)
+        value_bytes = data[pos + 8 : pos + 12]
+        if ftype in _TYPE_SIZE:
+            total = _TYPE_SIZE[ftype] * count
+            if total <= 4:
+                raw = value_bytes[:total]
+            else:
+                (offset,) = struct.unpack(bo + "I", value_bytes)
+                if offset + total > len(data):
+                    raise TiffError(f"tag {tag}: out-of-line value beyond EOF")
+                raw = data[offset : offset + total]
+            code = "H" if ftype == TYPE_SHORT else "I"
+            fields[tag] = struct.unpack(bo + code * count, raw)
+        pos += 12
+
+    def one(tag: int, default: int | None = None) -> int:
+        if tag in fields:
+            return int(fields[tag][0])
+        if default is None:
+            raise TiffError(f"required tag {tag} missing")
+        return default
+
+    width = one(TAG_IMAGE_WIDTH)
+    height = one(TAG_IMAGE_LENGTH)
+    bits = one(TAG_BITS_PER_SAMPLE, 1)
+    compression = one(TAG_COMPRESSION, COMPRESSION_NONE)
+    samples = one(TAG_SAMPLES_PER_PIXEL, 1)
+    sample_format = one(TAG_SAMPLE_FORMAT, SAMPLE_FORMAT_UINT)
+    if compression != COMPRESSION_NONE:
+        raise TiffError(f"unsupported compression {compression}")
+    if samples != 1:
+        raise TiffError(f"only single-sample grayscale supported, got {samples}")
+    if TAG_STRIP_OFFSETS not in fields:
+        raise TiffError("strip offsets missing")
+    strip_offsets = tuple(int(v) for v in fields[TAG_STRIP_OFFSETS])
+    if TAG_STRIP_BYTE_COUNTS in fields:
+        strip_byte_counts = tuple(int(v) for v in fields[TAG_STRIP_BYTE_COUNTS])
+    else:
+        if len(strip_offsets) != 1:
+            raise TiffError("StripByteCounts missing with multiple strips")
+        strip_byte_counts = (width * height * (bits // 8),)
+    rows_per_strip = one(TAG_ROWS_PER_STRIP, height)
+    dtype = _dtype_for(bits, sample_format)
+    return TiffInfo(
+        width=width,
+        height=height,
+        dtype=dtype,
+        strip_offsets=strip_offsets,
+        strip_byte_counts=strip_byte_counts,
+        rows_per_strip=rows_per_strip,
+        byte_order=bo,
+    )
+
+
+def read_tiff(path_or_file) -> np.ndarray:
+    """Read a grayscale TIFF fully into a ``(height, width)`` array.
+
+    Whole-image decode only — exactly the constraint DDR exploits: partial
+    reads are impossible, so the producer decodes everything and DDR moves
+    the needed pixels to where they belong.
+    """
+    if hasattr(path_or_file, "read"):
+        data = path_or_file.read()
+    else:
+        with open(path_or_file, "rb") as handle:
+            data = handle.read()
+    info = read_tiff_info(data)
+
+    out = np.empty(info.height * info.width, dtype=info.dtype)
+    sample_dtype = info.dtype.newbyteorder(info.byte_order)
+    cursor = 0
+    for offset, count in zip(info.strip_offsets, info.strip_byte_counts):
+        if offset + count > len(data):
+            raise TiffError("strip extends beyond end of file")
+        strip = np.frombuffer(data[offset : offset + count], dtype=sample_dtype)
+        if cursor + strip.size > out.size:
+            raise TiffError("strips larger than declared image size")
+        out[cursor : cursor + strip.size] = strip
+        cursor += strip.size
+    if cursor != out.size:
+        raise TiffError(f"strips cover {cursor} samples, image needs {out.size}")
+    return out.reshape(info.height, info.width)

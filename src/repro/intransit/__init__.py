@@ -1,0 +1,21 @@
+"""M-to-N in-transit streaming and the sim->analysis pipeline (use case 2)."""
+
+from .pipeline import PipelineConfig, PipelineResult, run_pipeline
+from .stream import (
+    StreamReceiver,
+    StreamSender,
+    StreamTopology,
+    analysis_rank_for,
+    sim_to_analysis_map,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "StreamReceiver",
+    "StreamSender",
+    "StreamTopology",
+    "analysis_rank_for",
+    "run_pipeline",
+    "sim_to_analysis_map",
+]

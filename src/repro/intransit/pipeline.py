@@ -1,0 +1,255 @@
+"""The full in-transit analysis pipeline (paper §IV-B).
+
+Simulation ranks run the slab-decomposed LBM and stream vorticity slabs to
+the analysis ranks every ``output_every`` iterations; analysis ranks use
+DDR to reshape slices into near-square rectangles (Figure 5), render them
+through the blue-white-red colormap, assemble the frame, and save it as a
+compressed JPEG instead of raw floats — the storage trade Table IV
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core.api import Redistributor
+from ..io.raw import raw_frame_bytes, write_raw
+from ..jpeg.encoder import encode_rgb
+from ..lbm.distributed import DistributedLbm
+from ..lbm.simulation import LbmConfig
+from ..mpisim.comm import Communicator
+from ..viz.colormaps import BLUE_WHITE_RED, GRAYSCALE
+from ..viz.image import assemble_tiles, render_scalar_field
+from ..volren.decompose import grid_boxes, grid_shape
+from .stream import StreamReceiver, StreamSender, StreamTopology
+
+#: Streamable simulation variables (paper §IV-B: "many other variables
+#: (e.g. velocity, density, etc.) are required for computation and could
+#: also be streamed and rendered, achieving similar data compression").
+VARIABLES = ("vorticity", "density", "speed", "ux", "uy")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One in-transit run: M sim ranks + N analysis ranks on one world.
+
+    ``raw_every_frames`` enables the paper's dual-frequency proposal (§IV-B
+    closing discussion): "we could still output raw data every 100
+    iterations, but additionally stream data every 10 iterations for visual
+    analysis" — every frame is rendered to JPEG, and additionally every
+    ``raw_every_frames``-th frame is counted (and, with ``save_dir``,
+    written) as a raw float dump.
+    """
+
+    lbm: LbmConfig
+    m: int
+    n: int
+    steps: int
+    output_every: int
+    quality: int = 75
+    vorticity_limit: float = 0.05  # symmetric colormap range
+    save_dir: Optional[Path] = None
+    save_raw: bool = False
+    keep_frames: bool = False  # retain rendered frames in the result (tests)
+    raw_every_frames: Optional[int] = None  # dual-frequency output cadence
+    variables: tuple[str, ...] = ("vorticity",)
+
+    def __post_init__(self) -> None:
+        if self.steps < 1 or self.output_every < 1:
+            raise ValueError("steps and output_every must be >= 1")
+        if self.steps % self.output_every != 0:
+            raise ValueError(
+                f"steps ({self.steps}) must be a multiple of output_every "
+                f"({self.output_every})"
+            )
+        if not self.variables:
+            raise ValueError("at least one variable must be streamed")
+        for name in self.variables:
+            if name not in VARIABLES:
+                raise ValueError(f"unknown variable {name!r}; options: {VARIABLES}")
+
+    @property
+    def n_frames(self) -> int:
+        return self.steps // self.output_every
+
+
+@dataclass
+class PipelineResult:
+    """Totals collected on analysis rank 0 (``None`` fields elsewhere)."""
+
+    role: str  # "sim" | "analysis" | "analysis_root"
+    frames: int = 0
+    raw_bytes: int = 0  # what raw-at-every-frame WOULD cost (Table IV baseline)
+    jpeg_bytes: int = 0
+    dual_raw_bytes: int = 0  # raw dumps actually kept at the coarse cadence
+    jpeg_bytes_by_variable: dict = field(default_factory=dict)
+    frames_rendered: list = field(default_factory=list)
+
+    @property
+    def data_reduction(self) -> float:
+        """Fraction of storage saved by the processed output (Table IV)."""
+        if self.raw_bytes == 0:
+            return 0.0
+        return 1.0 - self.jpeg_bytes / self.raw_bytes
+
+    @property
+    def dual_total_bytes(self) -> int:
+        """Dual-frequency output: coarse raw dumps + every-frame JPEG."""
+        return self.dual_raw_bytes + self.jpeg_bytes
+
+    @property
+    def dual_overhead(self) -> float:
+        """Storage increase of dual output over raw-only at the coarse
+        cadence — the paper's "only marginally increase data storage size"."""
+        if self.dual_raw_bytes == 0:
+            return 0.0
+        return self.dual_total_bytes / self.dual_raw_bytes - 1.0
+
+
+def run_pipeline(world: Communicator, config: PipelineConfig) -> PipelineResult:
+    """SPMD entry point: call on every rank of a (m + n)-rank world."""
+    topology = StreamTopology(config.m, config.n, config.lbm.nx, config.lbm.ny)
+    if world.size != topology.world_size():
+        raise ValueError(
+            f"world has {world.size} ranks; config needs {topology.world_size()}"
+        )
+    is_sim = topology.is_sim(world.rank)
+    sub = world.Split(0 if is_sim else 1, key=world.rank)
+    assert sub is not None
+
+    if is_sim:
+        _run_simulation(world, sub, topology, config)
+        return PipelineResult(role="sim", frames=config.n_frames)
+    return _run_analysis(world, sub, topology, config)
+
+
+def _sim_fields(sim: DistributedLbm, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+    """Compute the requested interior fields of one output step."""
+    out: dict[str, np.ndarray] = {}
+    need_macro = any(n in ("density", "speed", "ux", "uy") for n in names)
+    if need_macro:
+        rho, ux, uy = sim.macroscopics()
+    for name in names:
+        if name == "vorticity":
+            out[name] = sim.vorticity().astype(np.float32)
+        elif name == "density":
+            out[name] = rho.astype(np.float32)
+        elif name == "speed":
+            out[name] = np.hypot(ux, uy).astype(np.float32)
+        elif name == "ux":
+            out[name] = ux.astype(np.float32)
+        elif name == "uy":
+            out[name] = uy.astype(np.float32)
+        else:  # pragma: no cover - validated in PipelineConfig
+            raise ValueError(name)
+    return out
+
+
+def _run_simulation(
+    world: Communicator,
+    sim_comm: Communicator,
+    topology: StreamTopology,
+    config: PipelineConfig,
+) -> None:
+    sim = DistributedLbm(sim_comm, config.lbm)
+    sender = StreamSender(world, topology, sim_comm.rank)
+    for frame in range(config.n_frames):
+        sim.step(config.output_every)
+        fields = _sim_fields(sim, config.variables)
+        for var_index, name in enumerate(config.variables):
+            sender.send_frame(frame, fields[name], var_index)
+
+
+def _run_analysis(
+    world: Communicator,
+    analysis_comm: Communicator,
+    topology: StreamTopology,
+    config: PipelineConfig,
+) -> PipelineResult:
+    nx, ny = config.lbm.nx, config.lbm.ny
+    receiver = StreamReceiver(world, topology, analysis_comm.rank)
+
+    # The analysis layout: rectangles "as close to square as possible"
+    # (paper: Figure 5), versus the simulation's full-width slices.
+    grid = grid_shape(config.n, (nx, ny))
+    need = grid_boxes((nx, ny), grid)[analysis_comm.rank]
+
+    red = Redistributor(analysis_comm, ndims=2, dtype=np.float32)
+    red.setup(own=receiver.owned_chunks, need=need)  # once; reused per frame
+
+    root = 0
+    result = PipelineResult(
+        role="analysis_root" if analysis_comm.rank == root else "analysis"
+    )
+    tile_buffer = np.empty(need.np_shape(), dtype=np.float32)
+
+    origin = (need.offset[1], need.offset[0])  # (row, col) = (y, x)
+    for frame in range(config.n_frames):
+        is_raw_frame = (
+            config.raw_every_frames is None
+            or frame % config.raw_every_frames == 0
+        )
+        for var_index, name in enumerate(config.variables):
+            slabs = receiver.recv_frame(frame, var_index)
+            red.exchange(slabs, tile_buffer)  # per-frame, per-variable DDR call
+
+            tile_rgb = _render_variable(tile_buffer, name, config)
+            # The raw baseline tracks the first (primary) variable only,
+            # matching Table IV's "one variable of interest".
+            want_raw = var_index == 0 and config.save_raw and is_raw_frame
+            raw_tile = tile_buffer.copy() if want_raw else None
+            gathered = analysis_comm.gather((origin, tile_rgb, raw_tile), root=root)
+
+            if analysis_comm.rank != root:
+                continue
+            assert gathered is not None
+            frame_rgb = assemble_tiles([(o, rgb) for o, rgb, _ in gathered], (ny, nx))
+            blob = encode_rgb(frame_rgb, quality=config.quality)
+            result.jpeg_bytes += len(blob)
+            result.jpeg_bytes_by_variable[name] = (
+                result.jpeg_bytes_by_variable.get(name, 0) + len(blob)
+            )
+            if var_index == 0:
+                result.frames += 1
+                result.raw_bytes += raw_frame_bytes(nx, ny) * len(config.variables)
+                if config.raw_every_frames is not None and is_raw_frame:
+                    result.dual_raw_bytes += raw_frame_bytes(nx, ny)
+                if config.keep_frames:
+                    result.frames_rendered.append(frame_rgb)
+            if config.save_dir is not None:
+                directory = Path(config.save_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                suffix = "" if len(config.variables) == 1 else f"_{name}"
+                (directory / f"frame_{frame:05d}{suffix}.jpg").write_bytes(blob)
+                if want_raw:
+                    # Reassemble the full float field for the baseline path.
+                    raw = np.zeros((ny, nx), dtype=np.float32)
+                    for (r0, c0), _, tile_field in gathered:
+                        assert tile_field is not None
+                        th, tw = tile_field.shape
+                        raw[r0 : r0 + th, c0 : c0 + tw] = tile_field
+                    write_raw(directory / f"frame_{frame:05d}.raw", raw)
+    return result
+
+
+def _render_variable(
+    field: np.ndarray, name: str, config: PipelineConfig
+) -> np.ndarray:
+    """Per-variable colormap choices (vorticity uses the paper's map)."""
+    u0 = config.lbm.u0
+    if name == "vorticity":
+        limit = config.vorticity_limit
+        return render_scalar_field(field, BLUE_WHITE_RED, -limit, limit, symmetric=True)
+    if name == "ux":
+        return render_scalar_field(field, BLUE_WHITE_RED, -2 * u0, 2 * u0, symmetric=True)
+    if name == "uy":
+        return render_scalar_field(field, BLUE_WHITE_RED, -u0, u0, symmetric=True)
+    if name == "density":
+        return render_scalar_field(field, GRAYSCALE, 0.9, 1.1, symmetric=False)
+    if name == "speed":
+        return render_scalar_field(field, GRAYSCALE, 0.0, 2 * u0, symmetric=False)
+    raise ValueError(name)  # pragma: no cover - validated in PipelineConfig

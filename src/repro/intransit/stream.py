@@ -1,0 +1,133 @@
+"""M-to-N in-transit streaming (paper §IV-B, Figure 4).
+
+"Data is sent from M simulation ranks to N analysis ranks."  The stand-in
+for the paper's GLEAN-style transport: both applications live on one world
+communicator (sim ranks first, analysis ranks after), and each simulation
+rank streams its slab to a designated analysis rank.  Like the paper's
+10-to-4 illustration, sim ranks are block-distributed over analysis ranks,
+so uniform mapping is *not* required ("in-transit streaming can be achieved
+without uniform mapping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.box import Box
+from ..lbm.decompose import slab_box
+from ..mpisim.comm import Communicator
+from ..volren.decompose import split_extent
+
+#: Tag base for frame payloads.  The tag encodes (frame, variable):
+#: ``FRAME_TAG_BASE + frame * MAX_VARIABLES + var_index``.
+FRAME_TAG_BASE = 1000
+MAX_VARIABLES = 8
+
+
+def frame_tag(frame_index: int, var_index: int = 0) -> int:
+    if not (0 <= var_index < MAX_VARIABLES):
+        raise ValueError(f"var_index must be in [0, {MAX_VARIABLES}), got {var_index}")
+    return FRAME_TAG_BASE + frame_index * MAX_VARIABLES + var_index
+
+
+def sim_to_analysis_map(m: int, n: int) -> list[list[int]]:
+    """``map[a]`` = the simulation ranks streaming to analysis rank ``a``.
+
+    Contiguous blocks, sized within one of each other — Figure 4's
+    3/3/2/2 split for M=10, N=4.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got {m}, {n}")
+    if n > m:
+        raise ValueError(f"more analysis ranks ({n}) than simulation ranks ({m})")
+    return [
+        list(range(offset, offset + size)) for offset, size in split_extent(m, n)
+    ]
+
+
+def analysis_rank_for(sim_rank: int, m: int, n: int) -> int:
+    """Which analysis rank receives ``sim_rank``'s slab."""
+    for a, members in enumerate(sim_to_analysis_map(m, n)):
+        if sim_rank in members:
+            return a
+    raise ValueError(f"sim rank {sim_rank} out of range for m = {m}")
+
+
+@dataclass(frozen=True)
+class StreamTopology:
+    """World-communicator layout: sim ranks [0, m), analysis [m, m+n)."""
+
+    m: int
+    n: int
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        sim_to_analysis_map(self.m, self.n)  # validates m, n
+
+    def world_size(self) -> int:
+        return self.m + self.n
+
+    def is_sim(self, world_rank: int) -> bool:
+        return world_rank < self.m
+
+    def analysis_index(self, world_rank: int) -> int:
+        if world_rank < self.m:
+            raise ValueError(f"rank {world_rank} is a simulation rank")
+        return world_rank - self.m
+
+    def sim_slab(self, sim_rank: int) -> Box:
+        """The 2-D region sim rank owns, in paper order (x, y)."""
+        return slab_box(self.nx, self.ny, self.m, sim_rank)
+
+    def incoming_slabs(self, analysis_rank: int) -> list[tuple[int, Box]]:
+        """(sim_rank, slab) pairs this analysis rank will receive."""
+        members = sim_to_analysis_map(self.m, self.n)[analysis_rank]
+        return [(s, self.sim_slab(s)) for s in members]
+
+
+class StreamSender:
+    """Simulation-side endpoint: pushes one slab per frame."""
+
+    def __init__(self, world: Communicator, topology: StreamTopology, sim_rank: int) -> None:
+        self.world = world
+        self.topology = topology
+        self.sim_rank = sim_rank
+        self.dest_world = topology.m + analysis_rank_for(sim_rank, topology.m, topology.n)
+        self.slab = topology.sim_slab(sim_rank)
+
+    def send_frame(self, frame_index: int, field: np.ndarray, var_index: int = 0) -> None:
+        """Stream one slab of a scalar field (rows x nx, float32)."""
+        expected = self.slab.np_shape()
+        if field.shape != expected:
+            raise ValueError(f"slab field shape {field.shape} != expected {expected}")
+        payload = np.ascontiguousarray(field, dtype=np.float32)
+        self.world.Send(payload, self.dest_world, tag=frame_tag(frame_index, var_index))
+
+
+class StreamReceiver:
+    """Analysis-side endpoint: collects the slabs of one frame."""
+
+    def __init__(self, world: Communicator, topology: StreamTopology, analysis_rank: int) -> None:
+        self.world = world
+        self.topology = topology
+        self.analysis_rank = analysis_rank
+        self.sources = topology.incoming_slabs(analysis_rank)
+
+    @property
+    def owned_chunks(self) -> list[Box]:
+        """The slabs this rank will own before redistribution (DDR input)."""
+        return [slab for _, slab in self.sources]
+
+    def recv_frame(self, frame_index: int, var_index: int = 0) -> list[np.ndarray]:
+        """Receive every incoming slab of one frame, in chunk order."""
+        out = []
+        for sim_rank, slab in self.sources:
+            buffer = np.empty(slab.np_shape(), dtype=np.float32)
+            self.world.Recv(
+                buffer, source=sim_rank, tag=frame_tag(frame_index, var_index)
+            )
+            out.append(buffer)
+        return out

@@ -1,0 +1,32 @@
+"""From-scratch baseline JPEG codec (Table IV's processed-output format)."""
+
+from .color import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb
+from .decoder import JpegError, decode
+from .encoder import encode_gray, encode_rgb
+from .huffman import (
+    HuffmanTable,
+    STD_AC_CHROMINANCE,
+    STD_AC_LUMINANCE,
+    STD_DC_CHROMINANCE,
+    STD_DC_LUMINANCE,
+)
+from .quant import BASE_CHROMINANCE, BASE_LUMINANCE, scale_table
+
+__all__ = [
+    "BASE_CHROMINANCE",
+    "BASE_LUMINANCE",
+    "HuffmanTable",
+    "JpegError",
+    "STD_AC_CHROMINANCE",
+    "STD_AC_LUMINANCE",
+    "STD_DC_CHROMINANCE",
+    "STD_DC_LUMINANCE",
+    "decode",
+    "encode_gray",
+    "encode_rgb",
+    "rgb_to_ycbcr",
+    "scale_table",
+    "subsample_420",
+    "upsample_420",
+    "ycbcr_to_rgb",
+]

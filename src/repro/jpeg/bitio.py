@@ -1,0 +1,82 @@
+"""Bit-level I/O for the JPEG entropy-coded segment.
+
+JPEG packs Huffman codes MSB-first and *byte-stuffs* the scan: any 0xFF
+byte in the entropy stream is followed by 0x00 so decoders can find
+markers.  The reader performs the inverse unstuffing.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """MSB-first bit accumulator with JPEG byte stuffing."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value``, most significant first."""
+        if nbits < 0 or nbits > 32:
+            raise ValueError(f"nbits must be in [0, 32], got {nbits}")
+        if nbits == 0:
+            return
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            byte = (self._acc >> self._nbits) & 0xFF
+            self._out.append(byte)
+            if byte == 0xFF:
+                self._out.append(0x00)  # stuffing
+        self._acc &= (1 << self._nbits) - 1
+
+    def flush(self) -> bytes:
+        """Pad the final partial byte with 1-bits (JPEG convention)."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            self.write((1 << pad) - 1, pad)
+        return bytes(self._out)
+
+
+class BitReader:
+    """MSB-first bit reader that undoes JPEG byte stuffing."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def _pull_byte(self) -> None:
+        if self._pos >= len(self._data):
+            raise EOFError("entropy-coded segment exhausted")
+        byte = self._data[self._pos]
+        self._pos += 1
+        if byte == 0xFF:
+            if self._pos >= len(self._data):
+                raise EOFError("truncated stuffing sequence")
+            marker = self._data[self._pos]
+            if marker == 0x00:
+                self._pos += 1  # stuffed 0xFF
+            else:
+                raise EOFError(f"unexpected marker 0xFF{marker:02X} inside scan")
+        self._acc = (self._acc << 8) | byte
+        self._nbits += 8
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` (MSB first)."""
+        if nbits < 0 or nbits > 32:
+            raise ValueError(f"nbits must be in [0, 32], got {nbits}")
+        while self._nbits < nbits:
+            self._pull_byte()
+        self._nbits -= nbits
+        value = (self._acc >> self._nbits) & ((1 << nbits) - 1)
+        self._acc &= (1 << self._nbits) - 1
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)

@@ -1,0 +1,55 @@
+"""JFIF color conversion: RGB <-> YCbCr (BT.601 full range)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FORWARD = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+
+_INVERSE = np.array(
+    [
+        [1.0, 0.0, 1.402],
+        [1.0, -0.344136, -0.714136],
+        [1.0, 1.772, 0.0],
+    ]
+)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """``(h, w, 3)`` uint8 RGB -> float YCbCr with chroma centred on 128."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3), got {rgb.shape}")
+    out = rgb.astype(np.float64) @ _FORWARD.T
+    out[..., 1:] += 128.0
+    return out
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Float YCbCr -> uint8 RGB (clipped)."""
+    ycbcr = np.asarray(ycbcr, dtype=np.float64)
+    if ycbcr.ndim != 3 or ycbcr.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3), got {ycbcr.shape}")
+    shifted = ycbcr.copy()
+    shifted[..., 1:] -= 128.0
+    rgb = shifted @ _INVERSE.T
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def subsample_420(channel: np.ndarray) -> np.ndarray:
+    """2x2 box-average chroma subsampling (pads odd dimensions by edge)."""
+    h, w = channel.shape
+    padded = np.pad(channel, ((0, h % 2), (0, w % 2)), mode="edge")
+    return padded.reshape(padded.shape[0] // 2, 2, padded.shape[1] // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(channel: np.ndarray, h: int, w: int) -> np.ndarray:
+    """Nearest-neighbor chroma upsampling back to ``(h, w)``."""
+    up = np.repeat(np.repeat(channel, 2, axis=0), 2, axis=1)
+    return up[:h, :w]

@@ -1,0 +1,276 @@
+"""Baseline sequential JPEG decoder.
+
+Decodes the subset of JFIF this package's encoder produces (and common
+equivalents): 8-bit baseline SOF0, Huffman entropy coding, 1 or 3
+components, 4:4:4 or 4:2:0 sampling, single scan.  Used by the tests to
+close the loop on the Table IV output path (encode -> decode -> PSNR).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bitio import BitReader
+from .color import upsample_420, ycbcr_to_rgb
+from .dct import BLOCK, from_zigzag, inverse_dct, unblockify
+from .huffman import HuffmanTable, decode_magnitude
+from .quant import dequantize
+
+
+class JpegError(ValueError):
+    """Malformed stream or unsupported JPEG feature."""
+
+
+@dataclass
+class _Component:
+    comp_id: int
+    h: int
+    v: int
+    quant_id: int
+    dc_id: int = 0
+    ac_id: int = 0
+
+
+@dataclass
+class _DecoderState:
+    width: int = 0
+    height: int = 0
+    components: list[_Component] = field(default_factory=list)
+    quant_tables: dict[int, np.ndarray] = field(default_factory=dict)
+    dc_tables: dict[int, HuffmanTable] = field(default_factory=dict)
+    ac_tables: dict[int, HuffmanTable] = field(default_factory=dict)
+    restart_interval: int = 0  # MCUs between RSTn markers (0 = none)
+
+
+def _parse_dqt(payload: bytes, state: _DecoderState) -> None:
+    pos = 0
+    while pos < len(payload):
+        pq_tq = payload[pos]
+        pos += 1
+        precision, table_id = pq_tq >> 4, pq_tq & 0x0F
+        if precision != 0:
+            raise JpegError("only 8-bit quantization tables supported")
+        if pos + 64 > len(payload):
+            raise JpegError("truncated DQT")
+        zz = np.frombuffer(payload[pos : pos + 64], dtype=np.uint8).astype(np.int32)
+        state.quant_tables[table_id] = from_zigzag(zz)
+        pos += 64
+
+
+def _parse_dht(payload: bytes, state: _DecoderState) -> None:
+    pos = 0
+    while pos < len(payload):
+        tc_th = payload[pos]
+        pos += 1
+        table_class, table_id = tc_th >> 4, tc_th & 0x0F
+        if pos + 16 > len(payload):
+            raise JpegError("truncated DHT")
+        bits = tuple(payload[pos : pos + 16])
+        pos += 16
+        count = sum(bits)
+        if pos + count > len(payload):
+            raise JpegError("truncated DHT values")
+        values = tuple(payload[pos : pos + count])
+        pos += count
+        table = HuffmanTable(bits, values)
+        if table_class == 0:
+            state.dc_tables[table_id] = table
+        elif table_class == 1:
+            state.ac_tables[table_id] = table
+        else:
+            raise JpegError(f"bad Huffman table class {table_class}")
+
+
+def _parse_sof0(payload: bytes, state: _DecoderState) -> None:
+    precision, height, width, ncomp = struct.unpack(">BHHB", payload[:6])
+    if precision != 8:
+        raise JpegError(f"only 8-bit precision supported, got {precision}")
+    state.width, state.height = width, height
+    pos = 6
+    for _ in range(ncomp):
+        comp_id, sampling, quant_id = payload[pos : pos + 3]
+        state.components.append(
+            _Component(comp_id, sampling >> 4, sampling & 0x0F, quant_id)
+        )
+        pos += 3
+
+
+def _parse_sos(payload: bytes, state: _DecoderState) -> None:
+    ncomp = payload[0]
+    pos = 1
+    for _ in range(ncomp):
+        comp_id, tables = payload[pos : pos + 2]
+        pos += 2
+        comp = next((c for c in state.components if c.comp_id == comp_id), None)
+        if comp is None:
+            raise JpegError(f"scan references unknown component {comp_id}")
+        comp.dc_id, comp.ac_id = tables >> 4, tables & 0x0F
+    ss, se, ahl = payload[pos : pos + 3]
+    if (ss, se) != (0, 63):
+        raise JpegError("progressive/partial scans not supported")
+
+
+def _decode_block(
+    reader: BitReader,
+    predictor: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> tuple[np.ndarray, int]:
+    zz = np.zeros(64, dtype=np.int32)
+    size = dc_table.decode_symbol(reader)
+    dc = predictor + decode_magnitude(reader, size)
+    zz[0] = dc
+    k = 1
+    while k <= 63:
+        symbol = ac_table.decode_symbol(reader)
+        if symbol == 0x00:  # EOB
+            break
+        run, size = symbol >> 4, symbol & 0x0F
+        if size == 0:
+            if run != 15:
+                raise JpegError(f"invalid AC symbol 0x{symbol:02X}")
+            k += 16  # ZRL
+            continue
+        k += run
+        if k > 63:
+            raise JpegError("AC run overflows block")
+        zz[k] = decode_magnitude(reader, size)
+        k += 1
+    return zz, dc
+
+
+def _split_restart_segments(scan: bytes) -> list[bytes]:
+    """Split the entropy-coded segment at RSTn markers (byte-aligned by
+    construction; stuffed 0xFF00 pairs are skipped, not split)."""
+    segments: list[bytes] = []
+    start = 0
+    i = 0
+    while i < len(scan) - 1:
+        if scan[i] == 0xFF:
+            follower = scan[i + 1]
+            if 0xD0 <= follower <= 0xD7:
+                segments.append(scan[start:i])
+                start = i + 2
+                i += 2
+                continue
+            i += 2  # stuffed byte (or trailing marker caught by caller)
+            continue
+        i += 1
+    segments.append(scan[start:])
+    return segments
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Decode JPEG bytes to ``(h, w)`` grayscale or ``(h, w, 3)`` RGB uint8."""
+    if data[:2] != b"\xff\xd8":
+        raise JpegError("missing SOI marker")
+    state = _DecoderState()
+    pos = 2
+    scan_start = None
+    while pos < len(data):
+        if data[pos] != 0xFF:
+            raise JpegError(f"expected marker at byte {pos}")
+        marker = data[pos + 1]
+        pos += 2
+        if marker == 0xD9:  # EOI
+            break
+        if marker == 0x01 or 0xD0 <= marker <= 0xD7:
+            continue  # standalone markers
+        (length,) = struct.unpack(">H", data[pos : pos + 2])
+        payload = data[pos + 2 : pos + length]
+        if marker == 0xDB:
+            _parse_dqt(payload, state)
+        elif marker == 0xDD:
+            (state.restart_interval,) = struct.unpack(">H", payload[:2])
+        elif marker == 0xC4:
+            _parse_dht(payload, state)
+        elif marker == 0xC0:
+            _parse_sof0(payload, state)
+        elif marker in (0xC1, 0xC2, 0xC3, 0xC5, 0xC6, 0xC7):
+            raise JpegError(f"unsupported frame type 0xFF{marker:02X}")
+        elif marker == 0xDA:
+            _parse_sos(payload, state)
+            scan_start = pos + length
+            break
+        # APPn / COM / others: skip
+        pos += length
+
+    if scan_start is None:
+        raise JpegError("no scan found")
+    if not state.components:
+        raise JpegError("no frame header before scan")
+    eoi = data.rfind(b"\xff\xd9")
+    if eoi <= scan_start:
+        raise JpegError("missing EOI after scan")
+    scan = data[scan_start:eoi]
+    if state.restart_interval:
+        segments = _split_restart_segments(scan)
+    else:
+        segments = [scan]
+    segment_index = 0
+    reader = BitReader(segments[0])
+
+    hmax = max(c.h for c in state.components)
+    vmax = max(c.v for c in state.components)
+    mcus_x = (state.width + hmax * BLOCK - 1) // (hmax * BLOCK)
+    mcus_y = (state.height + vmax * BLOCK - 1) // (vmax * BLOCK)
+
+    grids = {
+        c.comp_id: np.zeros((mcus_y * c.v, mcus_x * c.h, 64), dtype=np.int32)
+        for c in state.components
+    }
+    predictors = {c.comp_id: 0 for c in state.components}
+
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            mcu_index = my * mcus_x + mx
+            if (
+                state.restart_interval
+                and mcu_index
+                and mcu_index % state.restart_interval == 0
+            ):
+                segment_index += 1
+                if segment_index >= len(segments):
+                    raise JpegError("missing restart marker in scan")
+                reader = BitReader(segments[segment_index])
+                for comp_id in predictors:
+                    predictors[comp_id] = 0
+            for comp in state.components:
+                dc_table = state.dc_tables.get(comp.dc_id)
+                ac_table = state.ac_tables.get(comp.ac_id)
+                if dc_table is None or ac_table is None:
+                    raise JpegError("scan uses undefined Huffman table")
+                for by in range(comp.v):
+                    for bx in range(comp.h):
+                        zz, dc = _decode_block(
+                            reader, predictors[comp.comp_id], dc_table, ac_table
+                        )
+                        predictors[comp.comp_id] = dc
+                        grids[comp.comp_id][my * comp.v + by, mx * comp.h + bx] = zz
+
+    channels = []
+    for comp in state.components:
+        table = state.quant_tables.get(comp.quant_id)
+        if table is None:
+            raise JpegError(f"component {comp.comp_id} uses undefined quant table")
+        grid = grids[comp.comp_id]
+        bh, bw = grid.shape[:2]
+        coeffs = dequantize(from_zigzag(grid.reshape(-1, 64)), table)
+        pixels = inverse_dct(coeffs) + 128.0
+        comp_w = -(-state.width * comp.h // hmax)  # ceil division
+        comp_h = -(-state.height * comp.v // vmax)
+        channels.append(unblockify(pixels, bh, bw, comp_h, comp_w))
+
+    if len(channels) == 1:
+        return np.clip(np.round(channels[0]), 0, 255).astype(np.uint8)
+    if len(channels) != 3:
+        raise JpegError(f"unsupported component count {len(channels)}")
+    y, cb, cr = channels
+    if cb.shape != y.shape:
+        cb = upsample_420(cb, state.height, state.width)
+        cr = upsample_420(cr, state.height, state.width)
+    ycbcr = np.stack([y, cb, cr], axis=-1)
+    return ycbcr_to_rgb(ycbcr)

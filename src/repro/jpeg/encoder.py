@@ -1,0 +1,270 @@
+"""Baseline sequential JPEG encoder (SOF0, Huffman, 4:4:4 or 4:2:0).
+
+Produces standard JFIF files — the "compressed JPEG image" output of the
+paper's in-transit analysis application (§IV-B, Table IV).  Grayscale and
+RGB inputs are supported; RGB defaults to 4:2:0 chroma subsampling like
+common libjpeg configurations.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitio import BitWriter
+from .color import rgb_to_ycbcr, subsample_420
+from .dct import BLOCK, blockify, forward_dct, to_zigzag
+from .huffman import (
+    HuffmanTable,
+    STD_AC_CHROMINANCE,
+    STD_AC_LUMINANCE,
+    STD_DC_CHROMINANCE,
+    STD_DC_LUMINANCE,
+    encode_magnitude,
+    magnitude_category,
+)
+from .quant import BASE_CHROMINANCE, BASE_LUMINANCE, quantize, scale_table
+
+# Marker bytes.
+SOI = b"\xff\xd8"
+EOI = b"\xff\xd9"
+APP0 = 0xE0
+DQT = 0xDB
+SOF0 = 0xC0
+DHT = 0xC4
+SOS = 0xDA
+DRI = 0xDD
+
+
+@dataclass
+class _Component:
+    comp_id: int
+    h: int  # horizontal sampling factor
+    v: int  # vertical sampling factor
+    quant_id: int
+    dc_table: HuffmanTable
+    ac_table: HuffmanTable
+    blocks: np.ndarray  # (n_mcus, h*v, 64) quantized zig-zag coefficients
+
+
+def _segment(marker: int, payload: bytes) -> bytes:
+    return struct.pack(">BBH", 0xFF, marker, len(payload) + 2) + payload
+
+
+def _app0_jfif() -> bytes:
+    return _segment(APP0, b"JFIF\x00" + struct.pack(">BBBHHBB", 1, 1, 0, 1, 1, 0, 0))
+
+
+def _dqt(table_id: int, table: np.ndarray) -> bytes:
+    zz = to_zigzag(table.astype(np.float64)).astype(np.uint8)
+    return _segment(DQT, bytes([table_id]) + zz.tobytes())
+
+
+def _dht(table_class: int, table_id: int, table: HuffmanTable) -> bytes:
+    payload = bytes([(table_class << 4) | table_id])
+    payload += bytes(table.bits)
+    payload += bytes(table.values)
+    return _segment(DHT, payload)
+
+
+def _sof0(height: int, width: int, components: list[_Component]) -> bytes:
+    payload = struct.pack(">BHHB", 8, height, width, len(components))
+    for comp in components:
+        payload += bytes([comp.comp_id, (comp.h << 4) | comp.v, comp.quant_id])
+    return _segment(SOF0, payload)
+
+
+def _sos(components: list[_Component], dc_ids: list[int], ac_ids: list[int]) -> bytes:
+    payload = bytes([len(components)])
+    for comp, dc_id, ac_id in zip(components, dc_ids, ac_ids):
+        payload += bytes([comp.comp_id, (dc_id << 4) | ac_id])
+    payload += bytes([0, 63, 0])  # spectral selection for baseline
+    return _segment(SOS, payload)
+
+
+def _prepare_component(
+    channel: np.ndarray,
+    mcus_x: int,
+    mcus_y: int,
+    h: int,
+    v: int,
+    quant_table: np.ndarray,
+) -> np.ndarray:
+    """Pad to full MCU coverage, DCT, quantize; returns (n_mcus, h*v, 64)."""
+    target_h = mcus_y * v * BLOCK
+    target_w = mcus_x * h * BLOCK
+    rows, cols = channel.shape
+    padded = np.pad(channel, ((0, target_h - rows), (0, target_w - cols)), mode="edge")
+    blocks, bh, bw = blockify(padded)
+    coeffs = forward_dct(blocks - 128.0)
+    quantized = quantize(coeffs, quant_table)
+    zz = to_zigzag(quantized)  # (bh*bw, 64)
+    grid = zz.reshape(bh, bw, 64)
+    # Regroup raster blocks into MCU order: each MCU takes a v x h tile.
+    mcu_blocks = np.empty((mcus_y * mcus_x, h * v, 64), dtype=np.int32)
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            tile = grid[my * v : (my + 1) * v, mx * h : (mx + 1) * h]
+            mcu_blocks[my * mcus_x + mx] = tile.reshape(h * v, 64)
+    return mcu_blocks
+
+
+def _encode_block(
+    writer: BitWriter,
+    zz: np.ndarray,
+    predictor: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> int:
+    """Entropy-code one zig-zag block; returns the new DC predictor."""
+    dc = int(zz[0])
+    diff = dc - predictor
+    size = magnitude_category(diff)
+    dc_table.encode_symbol(writer, size)
+    encode_magnitude(writer, diff, size)
+
+    run = 0
+    last_nonzero = 0
+    nonzero = np.nonzero(zz[1:])[0]
+    if nonzero.size:
+        last_nonzero = int(nonzero[-1]) + 1
+    for k in range(1, last_nonzero + 1):
+        value = int(zz[k])
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            ac_table.encode_symbol(writer, 0xF0)  # ZRL: 16 zeros
+            run -= 16
+        size = magnitude_category(value)
+        ac_table.encode_symbol(writer, (run << 4) | size)
+        encode_magnitude(writer, value, size)
+        run = 0
+    if last_nonzero < 63:
+        ac_table.encode_symbol(writer, 0x00)  # EOB
+    return dc
+
+
+def _dri(interval: int) -> bytes:
+    return _segment(DRI, struct.pack(">H", interval))
+
+
+def _encode_scan(
+    components: list[_Component], restart_interval: int | None = None
+) -> bytes:
+    """Entropy-code the scan; with ``restart_interval``, emit RSTn markers
+    every that many MCUs and reset the DC predictors (ITU-T T.81 §F.1.2.3)."""
+    out = bytearray()
+    writer = BitWriter()
+    predictors = [0] * len(components)
+    n_mcus = components[0].blocks.shape[0]
+    restart_index = 0
+    for mcu in range(n_mcus):
+        if restart_interval and mcu and mcu % restart_interval == 0:
+            out += writer.flush()
+            out += bytes([0xFF, 0xD0 + (restart_index % 8)])
+            restart_index += 1
+            writer = BitWriter()
+            predictors = [0] * len(components)
+        for index, comp in enumerate(components):
+            for block in comp.blocks[mcu]:
+                predictors[index] = _encode_block(
+                    writer, block, predictors[index], comp.dc_table, comp.ac_table
+                )
+    out += writer.flush()
+    return bytes(out)
+
+
+def encode_gray(
+    image: np.ndarray, quality: int = 75, restart_interval: int | None = None
+) -> bytes:
+    """Encode an ``(h, w)`` uint8 grayscale image to JPEG bytes."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"expected (h, w) grayscale, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise ValueError(f"expected uint8 samples, got {image.dtype}")
+    height, width = image.shape
+    qt = scale_table(BASE_LUMINANCE, quality)
+    mcus_x = (width + BLOCK - 1) // BLOCK
+    mcus_y = (height + BLOCK - 1) // BLOCK
+    blocks = _prepare_component(image.astype(np.float64), mcus_x, mcus_y, 1, 1, qt)
+    comp = _Component(1, 1, 1, 0, STD_DC_LUMINANCE, STD_AC_LUMINANCE, blocks)
+
+    out = bytearray()
+    out += SOI
+    out += _app0_jfif()
+    out += _dqt(0, qt)
+    out += _sof0(height, width, [comp])
+    out += _dht(0, 0, STD_DC_LUMINANCE)
+    out += _dht(1, 0, STD_AC_LUMINANCE)
+    if restart_interval:
+        out += _dri(restart_interval)
+    out += _sos([comp], [0], [0])
+    out += _encode_scan([comp], restart_interval)
+    out += EOI
+    return bytes(out)
+
+
+def encode_rgb(
+    image: np.ndarray,
+    quality: int = 75,
+    subsampling: str = "420",
+    restart_interval: int | None = None,
+) -> bytes:
+    """Encode an ``(h, w, 3)`` uint8 RGB image to JPEG bytes."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3) RGB, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise ValueError(f"expected uint8 samples, got {image.dtype}")
+    if subsampling not in ("444", "420"):
+        raise ValueError(f"subsampling must be '444' or '420', got {subsampling!r}")
+    height, width = image.shape[:2]
+    ycbcr = rgb_to_ycbcr(image)
+    y = ycbcr[..., 0]
+    cb = ycbcr[..., 1]
+    cr = ycbcr[..., 2]
+
+    q_lum = scale_table(BASE_LUMINANCE, quality)
+    q_chr = scale_table(BASE_CHROMINANCE, quality)
+
+    if subsampling == "420":
+        hy = vy = 2
+        cb, cr = subsample_420(cb), subsample_420(cr)
+    else:
+        hy = vy = 1
+
+    mcu_w = hy * BLOCK
+    mcu_h = vy * BLOCK
+    mcus_x = (width + mcu_w - 1) // mcu_w
+    mcus_y = (height + mcu_h - 1) // mcu_h
+
+    y_blocks = _prepare_component(y, mcus_x, mcus_y, hy, vy, q_lum)
+    cb_blocks = _prepare_component(cb, mcus_x, mcus_y, 1, 1, q_chr)
+    cr_blocks = _prepare_component(cr, mcus_x, mcus_y, 1, 1, q_chr)
+
+    components = [
+        _Component(1, hy, vy, 0, STD_DC_LUMINANCE, STD_AC_LUMINANCE, y_blocks),
+        _Component(2, 1, 1, 1, STD_DC_CHROMINANCE, STD_AC_CHROMINANCE, cb_blocks),
+        _Component(3, 1, 1, 1, STD_DC_CHROMINANCE, STD_AC_CHROMINANCE, cr_blocks),
+    ]
+
+    out = bytearray()
+    out += SOI
+    out += _app0_jfif()
+    out += _dqt(0, q_lum)
+    out += _dqt(1, q_chr)
+    out += _sof0(height, width, components)
+    out += _dht(0, 0, STD_DC_LUMINANCE)
+    out += _dht(1, 0, STD_AC_LUMINANCE)
+    out += _dht(0, 1, STD_DC_CHROMINANCE)
+    out += _dht(1, 1, STD_AC_CHROMINANCE)
+    if restart_interval:
+        out += _dri(restart_interval)
+    out += _sos(components, [0, 1, 1], [0, 1, 1])
+    out += _encode_scan(components, restart_interval)
+    out += EOI
+    return bytes(out)

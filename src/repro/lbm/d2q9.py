@@ -1,0 +1,83 @@
+"""D2Q9 lattice-Boltzmann kernels (paper §IV-B's "simple Lattice Boltzmann
+method for computing fluid flows in a two-dimensional space").
+
+Arrays are ``(9, ny, nx)`` with the direction index first.  Everything here
+is pure NumPy elementwise/roll arithmetic, which is what makes the slab-
+decomposed distributed run bitwise-identical to the serial one (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Direction vectors (cx, cy): rest, E, N, W, S, NE, NW, SW, SE.
+CX = np.array([0, 1, 0, -1, 0, 1, -1, -1, 1], dtype=np.int64)
+CY = np.array([0, 0, 1, 0, -1, 1, 1, -1, -1], dtype=np.int64)
+
+#: Quadrature weights.
+W = np.array(
+    [4 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 36, 1 / 36, 1 / 36, 1 / 36],
+    dtype=np.float64,
+)
+
+#: Index of the opposite direction (for bounce-back).
+OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6], dtype=np.int64)
+
+N_DIRS = 9
+
+
+def omega_from_viscosity(viscosity: float) -> float:
+    """BGK relaxation rate: ``omega = 1 / (3 nu + 1/2)``."""
+    if viscosity <= 0:
+        raise ValueError(f"viscosity must be positive, got {viscosity}")
+    return 1.0 / (3.0 * viscosity + 0.5)
+
+
+def equilibrium(rho: np.ndarray, ux: np.ndarray, uy: np.ndarray) -> np.ndarray:
+    """Maxwell-Boltzmann equilibrium populations for given macroscopics."""
+    cu = CX[:, None, None] * ux[None] + CY[:, None, None] * uy[None]
+    usq = ux * ux + uy * uy
+    return rho[None] * W[:, None, None] * (
+        1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq[None]
+    )
+
+
+def macroscopics(f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Density and velocity from populations: ``(rho, ux, uy)``."""
+    rho = f.sum(axis=0)
+    inv = 1.0 / rho
+    ux = (f * CX[:, None, None]).sum(axis=0) * inv
+    uy = (f * CY[:, None, None]).sum(axis=0) * inv
+    return rho, ux, uy
+
+
+def collide(f: np.ndarray, omega: float, skip: np.ndarray | None = None) -> None:
+    """In-place BGK collision; ``skip`` masks cells (the solid barrier)."""
+    rho, ux, uy = macroscopics(f)
+    feq = equilibrium(rho, ux, uy)
+    if skip is None:
+        f += omega * (feq - f)
+    else:
+        update = omega * (feq - f)
+        update[:, skip] = 0.0
+        f += update
+
+
+def stream(f: np.ndarray) -> None:
+    """In-place streaming: shift each population along its direction.
+
+    Uses periodic ``np.roll``; the caller's boundary conditions overwrite
+    the wrapped edges afterwards (the driver re-imposes equilibrium inflow
+    on all domain borders each step).
+    """
+    for i in range(1, N_DIRS):
+        f[i] = np.roll(f[i], shift=(int(CY[i]), int(CX[i])), axis=(0, 1))
+
+
+def bounce_back(f: np.ndarray, solid: np.ndarray) -> None:
+    """Full-way bounce-back: reverse all populations at solid cells.
+
+    Populations that streamed into the barrier this step leave it, reversed,
+    on the next streaming step — the standard no-slip wall treatment.
+    """
+    f[:, solid] = f[OPPOSITE][:, solid]

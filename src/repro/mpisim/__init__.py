@@ -1,0 +1,99 @@
+"""In-process MPI runtime (threads + mailboxes) with mpi4py-style API.
+
+This substitutes for the real MPI the paper's DDR library runs on: the same
+point-to-point matching rules, derived datatypes (including the subarray
+types DDR builds), and the collectives the library and use cases require —
+most importantly ``Alltoallw``.
+"""
+
+from . import datatypes
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    Communicator,
+    Fabric,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    Op,
+    PROD,
+    SUM,
+)
+from .datatypes import (
+    BYTE,
+    CHAR,
+    ContiguousType,
+    Datatype,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    NamedType,
+    SHORT,
+    SubarrayType,
+    UNSIGNED,
+    UNSIGNED_CHAR,
+    UNSIGNED_LONG,
+    UNSIGNED_SHORT,
+    VectorType,
+    named_type_for,
+)
+from .errors import (
+    AbortError,
+    CommunicatorError,
+    DatatypeError,
+    MpiSimError,
+    TimeoutError_,
+    TruncationError,
+)
+from .executor import RankFailure, run_spmd, world_communicators
+from .request import Request, Status, wait_all
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "AbortError",
+    "BAND",
+    "BOR",
+    "BYTE",
+    "CHAR",
+    "Communicator",
+    "CommunicatorError",
+    "ContiguousType",
+    "DOUBLE",
+    "Datatype",
+    "DatatypeError",
+    "FLOAT",
+    "Fabric",
+    "INT",
+    "LAND",
+    "LONG",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MpiSimError",
+    "NamedType",
+    "Op",
+    "PROD",
+    "RankFailure",
+    "Request",
+    "SHORT",
+    "SUM",
+    "Status",
+    "SubarrayType",
+    "TimeoutError_",
+    "TruncationError",
+    "UNSIGNED",
+    "UNSIGNED_CHAR",
+    "UNSIGNED_LONG",
+    "UNSIGNED_SHORT",
+    "VectorType",
+    "datatypes",
+    "named_type_for",
+    "run_spmd",
+    "wait_all",
+    "world_communicators",
+]

@@ -1,0 +1,810 @@
+"""An in-process MPI runtime: ranks are threads, messages are NumPy copies.
+
+Why this exists: the paper's DDR library drives ``MPI_Alltoallw`` with
+subarray datatypes across a real cluster.  This environment has no MPI, so
+we execute the *identical algorithm* on a thread-backed SPMD runtime with
+matched-queue point-to-point semantics and the collectives DDR and the two
+use cases need.  Message payloads are copied at send time (eager/buffered
+semantics), so the usual MPI correctness discipline — no buffer reuse races,
+ordered matching per (source, tag) — is preserved and testable.
+
+Timing of the paper's *experiments* is handled separately by
+``repro.netmodel``; this module is about moving real bytes correctly.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+import numpy as np
+
+from .datatypes import Datatype, named_type_for
+from .errors import AbortError, CommunicatorError, TimeoutError_, TruncationError
+from .request import CompletedRequest, DeferredRequest, Request, Status
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default seconds a blocking call may wait before declaring deadlock.  Long
+#: enough for slow CI machines, short enough that a hung test fails visibly.
+DEFAULT_DEADLOCK_TIMEOUT = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Reduction operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operator (``MPI_Op``)."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b)
+PROD = Op("MPI_PROD", lambda a, b: a * b)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", np.logical_and)
+LOR = Op("MPI_LOR", np.logical_or)
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+
+
+# ---------------------------------------------------------------------------
+# Fabric: shared mailboxes + abort propagation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Message:
+    source: int  # rank within the communicator
+    tag: int
+    internal: bool
+    payload: Any  # ndarray for typed traffic, arbitrary object for lowercase API
+
+
+class Fabric:
+    """Shared state connecting every rank of one SPMD execution."""
+
+    def __init__(self, nprocs: int, deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT) -> None:
+        if nprocs < 1:
+            raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.deadlock_timeout = deadlock_timeout
+        self._locks = [threading.Lock() for _ in range(nprocs)]
+        self._conds = [threading.Condition(lock) for lock in self._locks]
+        self._mailboxes: dict[tuple[Hashable, int], deque[_Message]] = {}
+        self._abort_exc: Optional[BaseException] = None
+
+    # -- abort ------------------------------------------------------------
+
+    def abort(self, exc: BaseException) -> None:
+        """Record a failure and wake every waiting rank so they raise too."""
+        self._abort_exc = exc
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+
+    @property
+    def aborted(self) -> Optional[BaseException]:
+        return self._abort_exc
+
+    def check_abort(self) -> None:
+        if self._abort_exc is not None:
+            raise AbortError(f"peer rank failed: {self._abort_exc!r}") from self._abort_exc
+
+    # -- mailbox operations -------------------------------------------------
+
+    def _box(self, comm_id: Hashable, world_rank: int) -> deque[_Message]:
+        key = (comm_id, world_rank)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = self._mailboxes.setdefault(key, deque())
+        return box
+
+    def post(self, comm_id: Hashable, dest_world: int, message: _Message) -> None:
+        cond = self._conds[dest_world]
+        with cond:
+            self._box(comm_id, dest_world).append(message)
+            cond.notify_all()
+
+    def try_consume(
+        self,
+        comm_id: Hashable,
+        my_world: int,
+        match: Callable[[_Message], bool],
+    ) -> Optional[_Message]:
+        """Atomically remove and return the first matching message, if any."""
+        cond = self._conds[my_world]
+        with cond:
+            return self._scan(comm_id, my_world, match)
+
+    def _scan(
+        self, comm_id: Hashable, my_world: int, match: Callable[[_Message], bool]
+    ) -> Optional[_Message]:
+        box = self._box(comm_id, my_world)
+        for index, message in enumerate(box):
+            if match(message):
+                del box[index]
+                return message
+        return None
+
+    def consume(
+        self,
+        comm_id: Hashable,
+        my_world: int,
+        match: Callable[[_Message], bool],
+    ) -> _Message:
+        """Blocking matched receive with abort and deadlock handling."""
+        cond = self._conds[my_world]
+        deadline = time.monotonic() + self.deadlock_timeout
+        with cond:
+            while True:
+                self.check_abort()
+                found = self._scan(comm_id, my_world, match)
+                if found is not None:
+                    return found
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError_(
+                        f"rank (world {my_world}) blocked > {self.deadlock_timeout}s "
+                        f"waiting on comm {comm_id!r}; likely deadlock"
+                    )
+                cond.wait(timeout=min(0.25, remaining))
+
+
+# ---------------------------------------------------------------------------
+# Communicator
+# ---------------------------------------------------------------------------
+
+
+def _payload_from(buf: np.ndarray, datatype: Optional[Datatype]) -> np.ndarray:
+    """Pack a send buffer into a dense 1-D payload copy."""
+    arr = np.asarray(buf)
+    if datatype is not None:
+        return datatype.pack(np.ascontiguousarray(arr))
+    if not arr.flags["C_CONTIGUOUS"]:
+        arr = np.ascontiguousarray(arr)
+    return arr.reshape(-1).copy()
+
+
+def _payload_into(buf: np.ndarray, datatype: Optional[Datatype], payload: np.ndarray) -> int:
+    """Unpack a received payload into the user's buffer; returns bytes written."""
+    if datatype is not None:
+        datatype.unpack(buf, payload)
+        return payload.size * payload.dtype.itemsize
+    arr = np.asarray(buf)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise CommunicatorError("Recv into a non-contiguous buffer requires a datatype")
+    flat = arr.reshape(-1)
+    if payload.size > flat.size:
+        raise TruncationError(
+            f"message of {payload.size} elements truncated: receive buffer holds {flat.size}"
+        )
+    flat[: payload.size] = payload.astype(flat.dtype, copy=False)
+    return payload.size * payload.dtype.itemsize
+
+
+class Communicator:
+    """One rank's endpoint of an MPI communicator.
+
+    The uppercase methods move NumPy buffers (optionally through a derived
+    :class:`~repro.mpisim.datatypes.Datatype`); the lowercase methods move
+    arbitrary Python objects, mirroring mpi4py's convention.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        comm_id: Hashable,
+        world_ranks: Sequence[int],
+        rank: int,
+    ) -> None:
+        self.fabric = fabric
+        self.comm_id = comm_id
+        self._world_ranks = tuple(world_ranks)
+        self._rank = rank
+        self._coll_seq = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._world_ranks)
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def world_rank_of(self, rank: int) -> int:
+        return self._world_ranks[rank]
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise CommunicatorError(f"{what} {rank} out of range for size {self.size}")
+
+    # -- point to point -------------------------------------------------------
+
+    def Send(
+        self,
+        buf: np.ndarray,
+        dest: int,
+        tag: int = 0,
+        datatype: Optional[Datatype] = None,
+    ) -> None:
+        self._check_rank(dest, "dest")
+        if tag < 0:
+            raise CommunicatorError(f"user tags must be >= 0, got {tag}")
+        payload = _payload_from(buf, datatype)
+        self._post(dest, _Message(self._rank, tag, False, payload))
+
+    def Isend(
+        self,
+        buf: np.ndarray,
+        dest: int,
+        tag: int = 0,
+        datatype: Optional[Datatype] = None,
+    ) -> Request:
+        # Eager buffered semantics: the payload is copied out immediately,
+        # so the send completes at post time.
+        self.Send(buf, dest, tag, datatype)
+        return CompletedRequest(Status(source=self._rank, tag=tag))
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        datatype: Optional[Datatype] = None,
+        status: Optional[Status] = None,
+    ) -> Status:
+        message = self._consume(self._match(source, tag, internal=False))
+        nbytes = _payload_into(buf, datatype, message.payload)
+        result = status or Status()
+        result.source, result.tag, result.count_bytes = message.source, message.tag, nbytes
+        return result
+
+    def Irecv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        datatype: Optional[Datatype] = None,
+    ) -> Request:
+        stash: dict[str, _Message] = {}
+        match = self._match(source, tag, internal=False)
+
+        def test_fn() -> bool:
+            if "msg" in stash:
+                return True
+            found = self.fabric.try_consume(
+                self.comm_id, self._world_ranks[self._rank], match
+            )
+            if found is None:
+                return False
+            stash["msg"] = found
+            return True
+
+        def wait_fn() -> Status:
+            message = stash.pop("msg", None)
+            if message is None:
+                message = self._consume(match)
+            nbytes = _payload_into(buf, datatype, message.payload)
+            return Status(source=message.source, tag=message.tag, count_bytes=nbytes)
+
+        return DeferredRequest(test_fn, wait_fn)
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        send_datatype: Optional[Datatype] = None,
+        recv_datatype: Optional[Datatype] = None,
+    ) -> Status:
+        self.Send(sendbuf, dest, sendtag, send_datatype)
+        return self.Recv(recvbuf, source, recvtag, recv_datatype)
+
+    def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        probe = {"hit": False}
+        match = self._match(source, tag, internal=False)
+
+        def peek(message: _Message) -> bool:
+            if match(message):
+                probe["hit"] = True
+            return False  # never consume
+
+        self.fabric.try_consume(self.comm_id, self._world_ranks[self._rank], peek)
+        return probe["hit"]
+
+    # lowercase (object) p2p ---------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "dest")
+        self._post(dest, _Message(self._rank, tag, False, _safe_copy(obj)))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        message = self._consume(self._match(source, tag, internal=False))
+        return message.payload
+
+    # -- collectives ------------------------------------------------------------
+
+    def Barrier(self) -> None:
+        seq = self._next_seq()
+        token = np.zeros(1, dtype=np.int8)
+        if self._rank == 0:
+            sink = np.zeros(1, dtype=np.int8)
+            for source in range(1, self.size):
+                self._coll_recv(sink, source, seq)
+            for dest in range(1, self.size):
+                self._coll_send(token, dest, seq)
+        elif self.size > 1:
+            self._coll_send(token, 0, seq)
+            self._coll_recv(token, 0, seq)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        if self._rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self._coll_send(np.asarray(buf), dest, seq)
+        else:
+            self._coll_recv(buf, root, seq)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        if self._rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self._post(dest, _Message(self._rank, self._coll_tag(seq), True, _safe_copy(obj)))
+            return obj
+        message = self._consume(self._match(root, self._coll_tag(seq), internal=True))
+        return message.payload
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list[Any]]:
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = _safe_copy(obj)
+            for source in range(self.size):
+                if source != root:
+                    message = self._consume(
+                        self._match(source, self._coll_tag(seq), internal=True)
+                    )
+                    out[source] = message.payload
+            return out
+        self._post(root, _Message(self._rank, self._coll_tag(seq), True, _safe_copy(obj)))
+        return None
+
+    def scatter(self, objs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError("scatter at root requires one object per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self._post(
+                        dest,
+                        _Message(self._rank, self._coll_tag(seq), True, _safe_copy(objs[dest])),
+                    )
+            return _safe_copy(objs[root])
+        message = self._consume(self._match(root, self._coll_tag(seq), internal=True))
+        return message.payload
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise CommunicatorError("alltoall requires one object per rank")
+        seq = self._next_seq()
+        tag = self._coll_tag(seq)
+        for dest in range(self.size):
+            if dest != self._rank:
+                self._post(dest, _Message(self._rank, tag, True, _safe_copy(objs[dest])))
+        out: list[Any] = [None] * self.size
+        out[self._rank] = _safe_copy(objs[self._rank])
+        for source in range(self.size):
+            if source != self._rank:
+                message = self._consume(self._match(source, tag, internal=True))
+                out[source] = message.payload
+        return out
+
+    def Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0) -> None:
+        """Gather equal-size blocks; ``recvbuf`` is (size, *block) at root."""
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        send = np.ascontiguousarray(sendbuf)
+        if self._rank == root:
+            if recvbuf is None:
+                raise CommunicatorError("root must supply recvbuf")
+            out = recvbuf.reshape(self.size, -1)
+            out[root] = send.reshape(-1)
+            for source in range(self.size):
+                if source != root:
+                    self._coll_recv(out[source], source, seq)
+        else:
+            self._coll_send(send, root, seq)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        self.Gather(sendbuf, recvbuf if self._rank == 0 else None, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    def Gatherv(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        recvcounts: Optional[Sequence[int]] = None,
+        displs: Optional[Sequence[int]] = None,
+        root: int = 0,
+    ) -> None:
+        """Gather variable-size blocks into a flat buffer at ``root``."""
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        send = np.ascontiguousarray(sendbuf).reshape(-1)
+        if self._rank == root:
+            if recvbuf is None or recvcounts is None:
+                raise CommunicatorError("root must supply recvbuf and recvcounts")
+            if len(recvcounts) != self.size:
+                raise CommunicatorError("recvcounts must have one entry per rank")
+            if displs is None:
+                displs = np.cumsum([0] + [int(c) for c in recvcounts[:-1]]).tolist()
+            flat = recvbuf.reshape(-1)
+            start = int(displs[root])
+            count = int(recvcounts[root])
+            if send.size != count:
+                raise CommunicatorError(
+                    f"root sends {send.size} elements but recvcounts[{root}] = {count}"
+                )
+            flat[start : start + count] = send
+            for source in range(self.size):
+                if source == root:
+                    continue
+                start = int(displs[source])
+                count = int(recvcounts[source])
+                self._coll_recv(flat[start : start + count], source, seq)
+        else:
+            self._coll_send(send, root, seq)
+
+    def Scatterv(
+        self,
+        sendbuf: Optional[np.ndarray],
+        sendcounts: Optional[Sequence[int]],
+        recvbuf: np.ndarray,
+        displs: Optional[Sequence[int]] = None,
+        root: int = 0,
+    ) -> None:
+        """Scatter variable-size blocks out of a flat buffer at ``root``."""
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        recv_flat = recvbuf.reshape(-1)
+        if self._rank == root:
+            if sendbuf is None or sendcounts is None:
+                raise CommunicatorError("root must supply sendbuf and sendcounts")
+            if len(sendcounts) != self.size:
+                raise CommunicatorError("sendcounts must have one entry per rank")
+            if displs is None:
+                displs = np.cumsum([0] + [int(c) for c in sendcounts[:-1]]).tolist()
+            flat = np.ascontiguousarray(sendbuf).reshape(-1)
+            for dest in range(self.size):
+                start = int(displs[dest])
+                count = int(sendcounts[dest])
+                chunk = flat[start : start + count]
+                if dest == root:
+                    if recv_flat.size < count:
+                        raise TruncationError(
+                            f"root recvbuf holds {recv_flat.size}, needs {count}"
+                        )
+                    recv_flat[:count] = chunk
+                else:
+                    self._coll_send(chunk, dest, seq)
+        else:
+            message = self._consume(
+                self._match(root, self._coll_tag(seq), internal=True)
+            )
+            if message.payload.size > recv_flat.size:
+                raise TruncationError(
+                    f"scatterv lane {root}->{self._rank}: got {message.payload.size}, "
+                    f"buffer holds {recv_flat.size}"
+                )
+            recv_flat[: message.payload.size] = message.payload.astype(
+                recv_flat.dtype, copy=False
+            )
+
+    def Alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Equal-block all-to-all: block ``d`` of sendbuf goes to rank ``d``."""
+        send = np.ascontiguousarray(sendbuf).reshape(-1)
+        recv = recvbuf.reshape(-1)
+        if send.size % self.size or recv.size % self.size:
+            raise CommunicatorError(
+                f"Alltoall buffers must hold size*k elements "
+                f"(got {send.size}/{recv.size} for {self.size} ranks)"
+            )
+        block = send.size // self.size
+        counts = [block] * self.size
+        displs = [d * block for d in range(self.size)]
+        self.Alltoallv(send, counts, displs, recv, counts, displs)
+
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        op: Op = SUM,
+        root: int = 0,
+    ) -> None:
+        self._check_rank(root, "root")
+        seq = self._next_seq()
+        send = np.ascontiguousarray(sendbuf)
+        if self._rank == root:
+            accum = send.astype(send.dtype, copy=True)
+            incoming = np.empty_like(accum)
+            for source in range(self.size):
+                if source != root:
+                    self._coll_recv(incoming, source, seq)
+                    accum = op.fn(accum, incoming)
+            if recvbuf is None:
+                raise CommunicatorError("root must supply recvbuf")
+            np.copyto(recvbuf, accum.reshape(recvbuf.shape))
+        else:
+            self._coll_send(send, root, seq)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
+        self.Reduce(sendbuf, recvbuf, op=op, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    def Reduce_scatter_block(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM
+    ) -> None:
+        """Reduce equal blocks, scatter block ``r`` to rank ``r``.
+
+        ``sendbuf`` holds ``size`` blocks shaped like ``recvbuf``.
+        """
+        send = np.ascontiguousarray(sendbuf)
+        recv_flat = recvbuf.reshape(-1)
+        if send.size != recv_flat.size * self.size:
+            raise CommunicatorError(
+                f"Reduce_scatter_block: sendbuf has {send.size} elements, "
+                f"expected {recv_flat.size} x {self.size}"
+            )
+        total = np.empty(send.size, dtype=send.dtype)
+        self.Reduce(send, total if self._rank == 0 else None, op=op, root=0)
+        block = recv_flat.size
+        counts = [block] * self.size
+        self.Scatterv(total if self._rank == 0 else None,
+                      counts if self._rank == 0 else None, recvbuf, root=0)
+
+    def Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
+        """Inclusive prefix reduction: rank r receives op(x_0, ..., x_r)."""
+        seq = self._next_seq()
+        send = np.ascontiguousarray(sendbuf)
+        accum = send.astype(send.dtype, copy=True)
+        if self._rank > 0:
+            incoming = np.empty_like(accum)
+            self._coll_recv(incoming, self._rank - 1, seq)
+            accum = op.fn(incoming, accum)
+        if self._rank + 1 < self.size:
+            self._coll_send(accum, self._rank + 1, seq)
+        np.copyto(recvbuf, accum.reshape(recvbuf.shape))
+
+    def Exscan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
+        """Exclusive prefix reduction: rank r receives op(x_0, ..., x_{r-1});
+        rank 0's recvbuf is left untouched (as in MPI)."""
+        seq = self._next_seq()
+        send = np.ascontiguousarray(sendbuf)
+        if self._rank == 0:
+            if self.size > 1:
+                self._coll_send(send, 1, seq)
+            return
+        prefix = np.empty(send.reshape(-1).shape, dtype=send.dtype)
+        self._coll_recv(prefix, self._rank - 1, seq)
+        if self._rank + 1 < self.size:
+            self._coll_send(op.fn(prefix.reshape(send.shape), send), self._rank + 1, seq)
+        np.copyto(recvbuf, prefix.reshape(recvbuf.shape))
+
+    def allreduce(self, value: Any, op: Op = SUM) -> Any:
+        gathered = self.allgather(value)
+        result = gathered[0]
+        for item in gathered[1:]:
+            result = op.fn(result, item)
+        return result
+
+    def Alltoallw(
+        self,
+        sendbuf: Optional[np.ndarray],
+        sendtypes: Sequence[Optional[Datatype]],
+        recvbuf: Optional[np.ndarray],
+        recvtypes: Sequence[Optional[Datatype]],
+    ) -> None:
+        """General all-to-all with a per-peer datatype (DDR's workhorse).
+
+        ``sendtypes[d]`` selects, out of ``sendbuf``, the elements destined
+        for rank ``d``; ``None`` (or a zero-size type) means nothing moves on
+        that lane.  Symmetrically for ``recvtypes``.
+        """
+        if len(sendtypes) != self.size or len(recvtypes) != self.size:
+            raise CommunicatorError("Alltoallw requires one datatype slot per rank")
+        seq = self._next_seq()
+        tag = self._coll_tag(seq)
+
+        # Self-exchange first: straight pack/unpack, no mailbox round-trip.
+        stype = sendtypes[self._rank]
+        rtype = recvtypes[self._rank]
+        if stype is not None and stype.size_elements() > 0:
+            if rtype is None or rtype.size_elements() != stype.size_elements():
+                raise CommunicatorError("self send/recv types disagree in Alltoallw")
+            assert sendbuf is not None and recvbuf is not None
+            rtype.unpack(recvbuf, stype.pack(sendbuf))
+        elif rtype is not None and rtype.size_elements() > 0:
+            raise CommunicatorError("self send/recv types disagree in Alltoallw")
+
+        for dest in range(self.size):
+            if dest == self._rank:
+                continue
+            datatype = sendtypes[dest]
+            if datatype is None or datatype.size_elements() == 0:
+                continue
+            assert sendbuf is not None
+            self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
+
+        for source in range(self.size):
+            if source == self._rank:
+                continue
+            datatype = recvtypes[source]
+            if datatype is None or datatype.size_elements() == 0:
+                continue
+            assert recvbuf is not None
+            message = self._consume(self._match(source, tag, internal=True))
+            if message.payload.size != datatype.size_elements():
+                raise TruncationError(
+                    f"Alltoallw lane {source}->{self._rank}: got {message.payload.size} "
+                    f"elements, type expects {datatype.size_elements()}"
+                )
+            datatype.unpack(recvbuf, message.payload)
+
+    def Alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts: Sequence[int],
+        sdispls: Sequence[int],
+        recvbuf: np.ndarray,
+        recvcounts: Sequence[int],
+        rdispls: Sequence[int],
+    ) -> None:
+        """Vector all-to-all over flat element counts/displacements."""
+        if not (
+            len(sendcounts) == len(sdispls) == len(recvcounts) == len(rdispls) == self.size
+        ):
+            raise CommunicatorError("Alltoallv requires size-length count/displ arrays")
+        seq = self._next_seq()
+        tag = self._coll_tag(seq)
+        sflat = np.ascontiguousarray(sendbuf).reshape(-1)
+        rflat = recvbuf.reshape(-1)
+
+        count = int(sendcounts[self._rank])
+        if count:
+            start_s, start_r = int(sdispls[self._rank]), int(rdispls[self._rank])
+            if int(recvcounts[self._rank]) != count:
+                raise CommunicatorError("self counts disagree in Alltoallv")
+            rflat[start_r : start_r + count] = sflat[start_s : start_s + count]
+
+        for dest in range(self.size):
+            if dest == self._rank or not int(sendcounts[dest]):
+                continue
+            start = int(sdispls[dest])
+            chunk = sflat[start : start + int(sendcounts[dest])].copy()
+            self._post(dest, _Message(self._rank, tag, True, chunk))
+        for source in range(self.size):
+            if source == self._rank or not int(recvcounts[source]):
+                continue
+            message = self._consume(self._match(source, tag, internal=True))
+            start = int(rdispls[source])
+            expect = int(recvcounts[source])
+            if message.payload.size != expect:
+                raise TruncationError(
+                    f"Alltoallv lane {source}->{self._rank}: got {message.payload.size}, "
+                    f"expected {expect}"
+                )
+            rflat[start : start + expect] = message.payload
+
+    # -- communicator management ---------------------------------------------
+
+    def Split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+        """Partition by ``color``; rank order within a part follows ``key``.
+
+        Returns ``None`` for ``color < 0`` (``MPI_UNDEFINED``).
+        """
+        seq = self._next_seq()
+        triples = self.allgather((int(color), int(key), self._rank))
+        if color < 0:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in triples if c == color
+        )
+        world_ranks = tuple(self._world_ranks[r] for _, r in members)
+        my_index = next(i for i, (_, r) in enumerate(members) if r == self._rank)
+        new_id = ("split", self.comm_id, seq, int(color))
+        return Communicator(self.fabric, new_id, world_ranks, my_index)
+
+    def Dup(self) -> "Communicator":
+        seq = self._next_seq()
+        new_id = ("dup", self.comm_id, seq)
+        return Communicator(self.fabric, new_id, self._world_ranks, self._rank)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    @staticmethod
+    def _coll_tag(seq: int) -> int:
+        return seq
+
+    def _post(self, dest: int, message: _Message) -> None:
+        self.fabric.check_abort()
+        self.fabric.post(self.comm_id, self._world_ranks[dest], message)
+
+    def _consume(self, match: Callable[[_Message], bool]) -> _Message:
+        return self.fabric.consume(self.comm_id, self._world_ranks[self._rank], match)
+
+    def _coll_send(self, buf: np.ndarray, dest: int, seq: int) -> None:
+        payload = np.ascontiguousarray(buf).reshape(-1).copy()
+        self._post(dest, _Message(self._rank, self._coll_tag(seq), True, payload))
+
+    def _coll_recv(self, buf: np.ndarray, source: int, seq: int) -> None:
+        message = self._consume(self._match(source, self._coll_tag(seq), internal=True))
+        flat = np.asarray(buf).reshape(-1)
+        if message.payload.size != flat.size:
+            raise TruncationError(
+                f"collective lane {source}->{self._rank}: got {message.payload.size} "
+                f"elements, buffer holds {flat.size}"
+            )
+        flat[:] = message.payload.astype(flat.dtype, copy=False)
+
+    def _match(self, source: int, tag: int, internal: bool) -> Callable[[_Message], bool]:
+        def fn(message: _Message) -> bool:
+            if message.internal != internal:
+                return False
+            if source != ANY_SOURCE and message.source != source:
+                return False
+            if tag != ANY_TAG and message.tag != tag:
+                return False
+            return True
+
+        return fn
+
+
+def _safe_copy(obj: Any) -> Any:
+    """Isolate sender and receiver: arrays are copied, objects deep-copied.
+
+    This mimics the serialization barrier of real MPI so tests catch
+    accidental shared-state mutation between "processes".
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    try:
+        return _copy.deepcopy(obj)
+    except Exception:
+        return obj

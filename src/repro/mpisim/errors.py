@@ -1,0 +1,31 @@
+"""Error types for the in-process MPI runtime."""
+
+from __future__ import annotations
+
+
+class MpiSimError(RuntimeError):
+    """Base class for all mpisim failures."""
+
+
+class AbortError(MpiSimError):
+    """Raised in every blocked rank when some rank fails (MPI_Abort semantics)."""
+
+
+class TruncationError(MpiSimError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class DatatypeError(MpiSimError, ValueError):
+    """Invalid datatype construction or a type/buffer mismatch."""
+
+
+class CommunicatorError(MpiSimError, ValueError):
+    """Invalid rank, tag, or communicator usage."""
+
+
+class TimeoutError_(MpiSimError):
+    """A blocking operation waited longer than the fabric's deadlock timeout.
+
+    Named with a trailing underscore to avoid shadowing :class:`TimeoutError`;
+    it still subclasses ``RuntimeError`` so generic handlers catch it.
+    """

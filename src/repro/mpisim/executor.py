@@ -1,0 +1,84 @@
+"""SPMD thread executor: run ``fn(comm, *args)`` once per rank.
+
+``run_spmd(nprocs, fn)`` is this runtime's ``mpiexec -n nprocs``.  Each rank
+runs in its own thread over a shared :class:`~repro.mpisim.comm.Fabric`; the
+first exception aborts every blocked peer (MPI_Abort semantics) and is
+re-raised to the caller with its rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
+from .errors import AbortError
+
+WORLD_ID = "world"
+
+
+@dataclass
+class RankFailure(Exception):
+    """Wraps the first per-rank exception with the failing rank number."""
+
+    rank: int
+    original: BaseException
+
+    def __str__(self) -> str:
+        return f"rank {self.rank} failed: {self.original!r}"
+
+
+def world_communicators(
+    nprocs: int, deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT
+) -> list[Communicator]:
+    """Create the COMM_WORLD endpoints for ``nprocs`` ranks on a new fabric."""
+    fabric = Fabric(nprocs, deadlock_timeout)
+    return [
+        Communicator(fabric, WORLD_ID, tuple(range(nprocs)), rank) for rank in range(nprocs)
+    ]
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
+
+    Returns the per-rank return values, in rank order.  If any rank raises,
+    every other rank is aborted and :class:`RankFailure` propagates the
+    first failure (by rank order among failures).
+    """
+    comms = world_communicators(nprocs, deadlock_timeout)
+    fabric = comms[0].fabric
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except AbortError:
+            # Secondary failure caused by another rank's abort; ignore.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must propagate anything
+            with failures_lock:
+                failures[rank] = exc
+            fabric.abort(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    if failures:
+        first_rank = min(failures)
+        raise RankFailure(first_rank, failures[first_rank]) from failures[first_rank]
+    return results

@@ -1,0 +1,99 @@
+"""Analytic cost model for DDR's Alltoallw exchange.
+
+Reads the *actual* schedule produced by the planner (rounds, per-round
+payloads, traffic matrix) and converts it into wall time under the
+LogGP-style model in :class:`~repro.netmodel.cluster.ClusterSpec`.  This is
+the model behind the Table II predictions and the Figure 3 scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.plan import GlobalPlan
+from .cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class ExchangeCost:
+    """Per-phase breakdown of a full redistribution."""
+
+    rounds: int
+    alpha_s: float  # collective software overhead, all rounds
+    transfer_s: float  # serialization through the per-process link share
+    self_copy_s: float  # local memcpy of data a rank keeps
+    mean_round_payload: float  # bytes/rank/round (Table III statistic)
+
+    @property
+    def total_s(self) -> float:
+        return self.alpha_s + self.transfer_s + self.self_copy_s
+
+
+def round_payloads(plan: GlobalPlan) -> list[float]:
+    """Max bytes any rank sends (to others) in each round.
+
+    The collective completes when the busiest rank drains, so the max —
+    not the mean — drives round time.
+    """
+    out = []
+    for round_index in range(plan.nrounds):
+        worst = 0
+        for rank_plan in plan.rank_plans:
+            sent = sum(
+                entry.overlap.volume()
+                for entry in rank_plan.sends
+                if entry.round == round_index and entry.dest != rank_plan.rank
+            )
+            worst = max(worst, sent)
+        out.append(worst * plan.element_size)
+    return out
+
+
+def exchange_cost(cluster: ClusterSpec, plan: GlobalPlan) -> ExchangeCost:
+    """Model one full redistribution (all rounds) on ``cluster``."""
+    payloads = round_payloads(plan)
+    alpha_s = cluster.alpha(plan.nprocs) * plan.nrounds
+    transfer_s = sum(m / cluster.effective_bw(m) for m in payloads)
+
+    self_bytes = max(
+        (
+            sum(e.overlap.volume() for e in p.sends if e.dest == p.rank)
+            for p in plan.rank_plans
+        ),
+        default=0,
+    ) * plan.element_size
+    self_copy_s = self_bytes / cluster.memcpy_bw
+
+    return ExchangeCost(
+        rounds=plan.nrounds,
+        alpha_s=alpha_s,
+        transfer_s=transfer_s,
+        self_copy_s=self_copy_s,
+        mean_round_payload=plan.mean_bytes_per_chunk_round(),
+    )
+
+
+def point_to_point_cost(cluster: ClusterSpec, plan: GlobalPlan) -> float:
+    """Model the direct-send backend (paper future work) for the ablation.
+
+    Each rank pays a fixed per-message latency per partner instead of the
+    collective's O(P) posting overhead, plus the same serialization time.
+    """
+    per_message_s = 5e-6  # rendezvous handshake
+    total = 0.0
+    for round_index in range(plan.nrounds):
+        worst = 0.0
+        for rank_plan in plan.rank_plans:
+            sent = 0
+            messages = 0
+            for entry in rank_plan.sends:
+                if entry.round == round_index and entry.dest != rank_plan.rank:
+                    sent += entry.overlap.volume()
+                    messages += 1
+            bytes_sent = sent * plan.element_size
+            t = messages * per_message_s + bytes_sent / cluster.effective_bw(bytes_sent)
+            worst = max(worst, t)
+        total += worst
+    return total

@@ -1,0 +1,46 @@
+"""Filesystem model: read+decode time for image-series loading.
+
+The dominant costs in the paper's TIFF experiment are (a) decoding whole
+images that are mostly thrown away (the no-DDR case) and (b) shared
+filesystem saturation once hundreds of readers stream concurrently.  Both
+are modeled per :class:`~repro.netmodel.cluster.ClusterSpec`.
+"""
+
+from __future__ import annotations
+
+from .cluster import ClusterSpec
+
+
+def fs_saturation_factor(cluster: ClusterSpec, concurrent_readers: int) -> float:
+    """Slowdown when aggregate demand exceeds the filesystem's peak.
+
+    ``max(1, (demand / peak) ** exp)`` — sublinear because parallel
+    filesystems degrade gracefully rather than dividing bandwidth exactly.
+    """
+    demand = concurrent_readers * cluster.read_decode_bw
+    ratio = demand / cluster.fs_peak_bw
+    if ratio <= 1.0:
+        return 1.0
+    return ratio**cluster.fs_saturation_exp
+
+
+def image_read_time(
+    cluster: ClusterSpec, image_bytes: int, concurrent_readers: int
+) -> float:
+    """Wall time for one rank to open + read + decode one image."""
+    base = cluster.file_open_s + image_bytes / cluster.read_decode_bw
+    return base * fs_saturation_factor(cluster, concurrent_readers)
+
+
+def stack_read_time(
+    cluster: ClusterSpec,
+    images_per_process: int,
+    image_bytes: int,
+    concurrent_readers: int,
+) -> float:
+    """Wall time for the slowest rank to read its assigned images.
+
+    ``images_per_process`` should be the *maximum* per-rank count: the load
+    phase ends when the last reader finishes.
+    """
+    return images_per_process * image_read_time(cluster, image_bytes, concurrent_readers)

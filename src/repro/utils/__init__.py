@@ -1,0 +1,30 @@
+"""Shared helpers: units, timing, array utilities, logging."""
+
+from .units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_mb,
+    fmt_seconds,
+    gbit_per_s,
+    mb,
+)
+from .timing import Timer, StopwatchRegistry
+from .arrays import as_contiguous, dtype_size, flat_view
+
+__all__ = [
+    "GiB",
+    "KiB",
+    "MiB",
+    "StopwatchRegistry",
+    "Timer",
+    "as_contiguous",
+    "dtype_size",
+    "flat_view",
+    "fmt_bytes",
+    "fmt_mb",
+    "fmt_seconds",
+    "gbit_per_s",
+    "mb",
+]

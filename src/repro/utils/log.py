@@ -1,0 +1,25 @@
+"""Minimal logging facade (stdlib logging, library-safe defaults)."""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace with a NullHandler."""
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    logger = logging.getLogger(full)
+    if not logging.getLogger(_ROOT_NAME).handlers:
+        logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+    return logger
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler — used by the example scripts, never implicitly."""
+    root = logging.getLogger(_ROOT_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)

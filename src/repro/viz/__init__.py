@@ -1,0 +1,25 @@
+"""Visualization primitives: colormaps, scalar-field rendering, PPM I/O."""
+
+from .colormaps import (
+    BLUE_WHITE_RED,
+    COLORMAPS,
+    Colormap,
+    GRAYSCALE,
+    TOOTH,
+    normalize,
+)
+from .image import assemble_tiles, render_scalar_field
+from .ppm import read_ppm, write_ppm
+
+__all__ = [
+    "BLUE_WHITE_RED",
+    "COLORMAPS",
+    "Colormap",
+    "GRAYSCALE",
+    "TOOTH",
+    "assemble_tiles",
+    "normalize",
+    "read_ppm",
+    "render_scalar_field",
+    "write_ppm",
+]

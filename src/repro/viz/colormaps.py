@@ -1,0 +1,94 @@
+"""Colormaps for the analysis applications.
+
+The paper's LBM use case renders vorticity "using a blue-white-red
+colormap" (§IV-B); the tooth DVR figure uses a dark-to-warm ramp (Figure 2
+right).  Colormaps are piecewise-linear in RGB over control points on
+[0, 1] and vectorise over arbitrary array shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Colormap:
+    """Piecewise-linear RGB colormap over [0, 1]."""
+
+    name: str
+    points: tuple[tuple[float, tuple[float, float, float]], ...]
+
+    def __post_init__(self) -> None:
+        values = [v for v, _ in self.points]
+        if len(values) < 2:
+            raise ValueError("a colormap needs at least two control points")
+        if values != sorted(values) or values[0] != 0.0 or values[-1] != 1.0:
+            raise ValueError("control points must ascend from 0.0 to 1.0")
+
+    def __call__(self, scalars: np.ndarray) -> np.ndarray:
+        """Map scalars in [0, 1] to float RGB in [0, 1]; shape ``(*s, 3)``."""
+        s = np.clip(np.asarray(scalars, dtype=np.float64), 0.0, 1.0)
+        xs = np.array([v for v, _ in self.points])
+        channels = np.array([c for _, c in self.points])  # (n, 3)
+        out = np.empty(s.shape + (3,))
+        for ch in range(3):
+            out[..., ch] = np.interp(s, xs, channels[:, ch])
+        return out
+
+    def to_uint8(self, scalars: np.ndarray) -> np.ndarray:
+        """Map scalars in [0, 1] to uint8 RGB."""
+        return np.round(self(scalars) * 255.0).astype(np.uint8)
+
+
+#: The paper's LBM vorticity map: blue (negative) - white (zero) - red (positive).
+BLUE_WHITE_RED = Colormap(
+    "blue_white_red",
+    (
+        (0.0, (0.0, 0.0, 1.0)),
+        (0.5, (1.0, 1.0, 1.0)),
+        (1.0, (1.0, 0.0, 0.0)),
+    ),
+)
+
+GRAYSCALE = Colormap("grayscale", ((0.0, (0.0, 0.0, 0.0)), (1.0, (1.0, 1.0, 1.0))))
+
+#: Dark -> blue -> amber -> white ramp in the spirit of Figure 2's tooth map.
+TOOTH = Colormap(
+    "tooth",
+    (
+        (0.0, (0.0, 0.0, 0.0)),
+        (0.25, (0.10, 0.15, 0.45)),
+        (0.55, (0.70, 0.45, 0.15)),
+        (0.85, (0.95, 0.85, 0.55)),
+        (1.0, (1.0, 1.0, 1.0)),
+    ),
+)
+
+COLORMAPS = {cmap.name: cmap for cmap in (BLUE_WHITE_RED, GRAYSCALE, TOOTH)}
+
+
+def normalize(
+    field: np.ndarray,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Scale a scalar field to [0, 1].
+
+    ``symmetric=True`` centres zero at 0.5 (vorticity with BLUE_WHITE_RED:
+    still fluid renders white, opposite rotations blue/red).
+    """
+    data = np.asarray(field, dtype=np.float64)
+    if symmetric:
+        bound = max(abs(float(data.min() if vmin is None else vmin)),
+                    abs(float(data.max() if vmax is None else vmax)))
+        if bound == 0.0:
+            return np.full(data.shape, 0.5)
+        return np.clip((data + bound) / (2.0 * bound), 0.0, 1.0)
+    lo = float(data.min()) if vmin is None else float(vmin)
+    hi = float(data.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        return np.zeros(data.shape)
+    return np.clip((data - lo) / (hi - lo), 0.0, 1.0)

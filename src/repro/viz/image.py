@@ -1,0 +1,43 @@
+"""Scalar field -> RGB image (the LBM analysis application's render step)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormaps import BLUE_WHITE_RED, Colormap, normalize
+
+
+def render_scalar_field(
+    field: np.ndarray,
+    cmap: Colormap = BLUE_WHITE_RED,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Colormap a 2-D scalar field into a ``(h, w, 3)`` uint8 image.
+
+    Defaults mirror the paper's vorticity rendering: symmetric range with
+    zero at white under the blue-white-red map.
+    """
+    field = np.asarray(field)
+    if field.ndim != 2:
+        raise ValueError(f"expected 2-D field, got shape {field.shape}")
+    return cmap.to_uint8(normalize(field, vmin, vmax, symmetric=symmetric))
+
+
+def assemble_tiles(
+    tiles: list[tuple[tuple[int, int], np.ndarray]], full_shape: tuple[int, int]
+) -> np.ndarray:
+    """Stitch per-rank image tiles into a full frame.
+
+    ``tiles`` holds ``((y0, x0), rgb_tile)`` pairs; overlapping tiles are
+    written in order (last writer wins), matching DDR's receive semantics.
+    """
+    h, w = full_shape
+    frame = np.zeros((h, w, 3), dtype=np.uint8)
+    for (y0, x0), tile in tiles:
+        th, tw = tile.shape[:2]
+        if y0 < 0 or x0 < 0 or y0 + th > h or x0 + tw > w:
+            raise ValueError(f"tile at ({y0}, {x0}) of {tile.shape} exceeds {full_shape}")
+        frame[y0 : y0 + th, x0 : x0 + tw] = tile
+    return frame

@@ -1,0 +1,119 @@
+"""Volume decomposition for distributed DVR (paper §IV-A).
+
+"In order to perform efficient distributed memory DVR, the entire volume is
+broken into equally sized boxes that are as close to cubes as possible."
+
+:func:`grid_shape` picks the per-axis process grid; :func:`grid_boxes`
+produces the per-rank needed boxes in the paper's ``[i, j, k]`` axis order
+(i = image width/x, j = image height/y, k = slice index/z), with rank order
+x-fastest — the 3D generalization of E1's ``right = rank % 2`` /
+``bottom = rank / 2`` convention.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.box import Box
+
+
+def split_extent(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Block-partition ``extent`` cells into ``parts`` (offset, size) pairs.
+
+    Remainder cells go to the leading parts, matching common block
+    distributions (and keeping |sizes| within 1 of each other).
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if extent < parts:
+        raise ValueError(f"cannot split extent {extent} into {parts} non-empty parts")
+    base, rem = divmod(extent, parts)
+    out = []
+    offset = 0
+    for index in range(parts):
+        size = base + (1 if index < rem else 0)
+        out.append((offset, size))
+        offset += size
+    return out
+
+
+def grid_shape(nprocs: int, dims: Sequence[int]) -> tuple[int, ...]:
+    """Choose a process grid whose blocks are as close to cubes as possible.
+
+    Searches factorizations of ``nprocs`` into ``len(dims)`` factors and
+    minimises the spread of block edge lengths ``dims[a] / grid[a]``.  For
+    the paper's perfect-cube process counts on the 4096x2048x4096 volume
+    this returns the expected symmetric grids (e.g. 27 -> (3, 3, 3)).
+    """
+    ndim = len(dims)
+    if ndim < 1:
+        raise ValueError("dims must be non-empty")
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+
+    best: tuple[float, float, tuple[int, ...]] | None = None
+
+    def rec(remaining: int, axis: int, grid: tuple[int, ...]) -> None:
+        nonlocal best
+        if axis == ndim - 1:
+            full = grid + (remaining,)
+            if any(g > d for g, d in zip(full, dims)):
+                return
+            edges = [d / g for d, g in zip(dims, full)]
+            score = max(edges) / min(edges)
+            # Tie-break toward balanced process grids (the paper splits
+            # "an equal number of chunks in each dimension"), then toward
+            # a deterministic tuple order.
+            balance = max(full) / min(full)
+            key = (score, balance, full)
+            if best is None or key < best:
+                best = key
+            return
+        divisor = 1
+        while divisor <= remaining:
+            if remaining % divisor == 0:
+                rec(remaining // divisor, axis + 1, grid + (divisor,))
+            divisor += 1
+
+    rec(nprocs, 0, ())
+    if best is None:
+        raise ValueError(f"no valid {ndim}-D grid for {nprocs} processes over {dims}")
+    return best[-1]
+
+
+def grid_boxes(dims: Sequence[int], grid: Sequence[int]) -> list[Box]:
+    """Per-rank needed boxes for a ``grid`` decomposition of ``dims``.
+
+    Rank order is x-fastest: ``rank = i + j*grid[0] + k*grid[0]*grid[1]``.
+    """
+    dims = tuple(int(d) for d in dims)
+    grid = tuple(int(g) for g in grid)
+    if len(grid) != len(dims):
+        raise ValueError("grid rank must match dims rank")
+    axis_splits = [split_extent(d, g) for d, g in zip(dims, grid)]
+
+    boxes: list[Box] = []
+    ndim = len(dims)
+    counters = [0] * ndim
+
+    def emit() -> None:
+        offset = tuple(axis_splits[a][counters[a]][0] for a in range(ndim))
+        size = tuple(axis_splits[a][counters[a]][1] for a in range(ndim))
+        boxes.append(Box(offset, size))
+
+    total = 1
+    for g in grid:
+        total *= g
+    for rank in range(total):
+        rest = rank
+        for a in range(ndim):
+            counters[a] = rest % grid[a]
+            rest //= grid[a]
+        emit()
+    return boxes
+
+
+def block_for_rank(dims: Sequence[int], grid: Sequence[int], rank: int) -> Box:
+    """The needed box of one rank (same convention as :func:`grid_boxes`)."""
+    boxes = grid_boxes(dims, grid)
+    return boxes[rank]

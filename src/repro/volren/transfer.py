@@ -1,0 +1,46 @@
+"""Transfer functions for direct volume rendering.
+
+A transfer function maps normalized scalar values to emission color and
+opacity (per unit sample).  Color comes from a :class:`~repro.viz.colormaps
+.Colormap`; opacity is piecewise-linear over its own control points, which
+is how tools like ParaView expose DVR transfer functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..viz.colormaps import Colormap, TOOTH
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """Scalar in [0, 1] -> (RGB emission, opacity)."""
+
+    colormap: Colormap
+    opacity_points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        xs = [x for x, _ in self.opacity_points]
+        if len(xs) < 2 or xs != sorted(xs) or xs[0] != 0.0 or xs[-1] != 1.0:
+            raise ValueError("opacity control points must ascend from 0.0 to 1.0")
+        if any(not (0.0 <= a <= 1.0) for _, a in self.opacity_points):
+            raise ValueError("opacities must lie in [0, 1]")
+
+    def color(self, scalars: np.ndarray) -> np.ndarray:
+        return self.colormap(scalars)
+
+    def opacity(self, scalars: np.ndarray) -> np.ndarray:
+        s = np.clip(np.asarray(scalars, dtype=np.float64), 0.0, 1.0)
+        xs = np.array([x for x, _ in self.opacity_points])
+        ys = np.array([a for _, a in self.opacity_points])
+        return np.interp(s, xs, ys)
+
+
+#: Figure-2-style tooth rendering: air transparent, enamel nearly opaque.
+TOOTH_TF = TransferFunction(
+    colormap=TOOTH,
+    opacity_points=((0.0, 0.0), (0.15, 0.0), (0.4, 0.02), (0.7, 0.25), (1.0, 0.9)),
+)

@@ -1,0 +1,90 @@
+"""Tests for the bench reporting utilities and paper-data constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, pct, relative_error
+from repro.bench.paperdata import (
+    FIGURE4_EXAMPLE,
+    LBM_RUN,
+    TABLE1_E1,
+    TABLE2_MAX_SPEEDUP,
+    TABLE2_SECONDS,
+    TABLE2_STDDEV,
+    TABLE3_SCHEDULE,
+    TABLE4_OUTPUT,
+    TIFF_SERIES,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "--" in lines[2]
+        assert lines[3].endswith("2.50")
+        assert lines[4].endswith("0.25")
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_string_cells(self):
+        out = format_table(["k", "v"], [["name", "value"]])
+        assert "name" in out and "value" in out
+
+
+class TestErrorHelpers:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(-0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_pct(self):
+        assert pct(0.123) == "+12.3%"
+        assert pct(-0.05) == "-5.0%"
+
+
+class TestPaperDataConsistency:
+    """Internal consistency of the transcribed paper numbers."""
+
+    def test_table2_has_all_scales(self):
+        assert set(TABLE2_SECONDS) == {27, 64, 125, 216} == set(TABLE2_STDDEV)
+
+    def test_table2_headline_speedup(self):
+        no_ddr, _, consec = TABLE2_SECONDS[216]
+        assert no_ddr / consec == pytest.approx(TABLE2_MAX_SPEEDUP, abs=0.2)
+
+    def test_table2_paper_quotes_hold(self):
+        """§IV-A's prose: RR 20% faster at 27; consecutive 32% faster at 216."""
+        _, rr27, consec27 = TABLE2_SECONDS[27]
+        assert (consec27 - rr27) / consec27 == pytest.approx(0.20, abs=0.02)
+        _, rr216, consec216 = TABLE2_SECONDS[216]
+        assert (rr216 - consec216) / rr216 == pytest.approx(0.32, abs=0.02)
+
+    def test_table3_round_robin_rounds_formula(self):
+        for nprocs, per in TABLE3_SCHEDULE.items():
+            assert per["round_robin"][0] == -(-TIFF_SERIES["n_images"] // nprocs)
+
+    def test_tiff_series_size(self):
+        s = TIFF_SERIES
+        assert (
+            s["n_images"] * s["width"] * s["height"] * s["bits"] // 8
+            == s["total_bytes"]
+        )
+
+    def test_table4_reductions_match_sizes(self):
+        for (nx, ny), (raw, processed, reduction) in TABLE4_OUTPUT.items():
+            assert 1 - processed / raw == pytest.approx(reduction, abs=0.0015)
+            # Raw size is nx*ny*4*200 up to the paper's rounding.
+            assert nx * ny * 4 * LBM_RUN["saved_steps"] == pytest.approx(raw, rel=0.06)
+
+    def test_figure4_example(self):
+        assert sum(FIGURE4_EXAMPLE["per_analysis"]) == FIGURE4_EXAMPLE["m"]
+
+    def test_table1_all_ranks(self):
+        assert set(TABLE1_E1) == {0, 1, 2, 3}
+        assert TABLE1_E1[3]["P7"] == [4, 4]

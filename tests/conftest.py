@@ -1,0 +1,19 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpisim import run_spmd
+
+
+def spmd(nprocs, fn, *args, **kwargs):
+    """run_spmd with a short deadlock timeout so broken tests fail fast."""
+    kwargs.setdefault("deadlock_timeout", 20.0)
+    return run_spmd(nprocs, fn, *args, **kwargs)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170529)  # IPPS 2017 venue date

@@ -1,0 +1,137 @@
+"""Ghost-zone exchange tests (DDR's overlapping receives, paper §III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box, GhostExchanger, inflate_box
+from repro.volren import grid_boxes
+from tests.conftest import spmd
+
+
+class TestInflateBox:
+    DOMAIN = Box((0, 0), (16, 12))
+
+    def test_interior_grows_all_sides(self):
+        out = inflate_box(Box((4, 4), (4, 4)), 2, self.DOMAIN)
+        assert out == Box((2, 2), (8, 8))
+
+    def test_clipped_at_domain_edge(self):
+        out = inflate_box(Box((0, 0), (4, 4)), 2, self.DOMAIN)
+        assert out == Box((0, 0), (6, 6))
+
+    def test_per_axis_widths(self):
+        out = inflate_box(Box((4, 4), (4, 4)), (1, 3), self.DOMAIN)
+        assert out == Box((3, 1), (6, 10))
+
+    def test_zero_halo_is_identity(self):
+        box = Box((4, 4), (4, 4))
+        assert inflate_box(box, 0, self.DOMAIN) == box
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inflate_box(Box((0, 0), (2, 2)), (1,), self.DOMAIN)
+        with pytest.raises(ValueError):
+            inflate_box(Box((0, 0), (2, 2)), -1, self.DOMAIN)
+
+    @given(
+        x0=st.integers(0, 12), y0=st.integers(0, 8),
+        w=st.integers(1, 4), h=st.integers(1, 4), halo=st.integers(0, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_contains_original_within_domain(self, x0, y0, w, h, halo):
+        box = Box((min(x0, 12), min(y0, 8)), (w, h))
+        if not self.DOMAIN.contains_box(box):
+            return
+        out = inflate_box(box, halo, self.DOMAIN)
+        assert out.contains_box(box)
+        assert self.DOMAIN.contains_box(out)
+
+
+class TestGhostExchanger:
+    def test_2d_ghosts_match_neighbors(self):
+        """4 ranks in a 2x2 grid over a 8x8 domain; halo 1; after exchange
+        each padded block must equal the corresponding window of the global
+        array."""
+        domain = Box((0, 0), (8, 8))
+        boxes = grid_boxes((8, 8), (2, 2))
+        reference = np.arange(64, dtype=np.float64).reshape(8, 8)
+
+        def fn_safe(comm):
+            ghosts = GhostExchanger(comm, ndims=2, dtype=np.float64)
+            own = boxes[comm.rank]
+            padded_box = ghosts.setup(own, halo=1, domain=domain)
+            x0, y0 = own.offset
+            interior = reference[y0 : y0 + own.dims[1], x0 : x0 + own.dims[0]]
+            padded = ghosts.exchange(interior)
+            px0, py0 = padded_box.offset
+            expected = reference[
+                py0 : py0 + padded_box.dims[1], px0 : px0 + padded_box.dims[0]
+            ]
+            assert np.array_equal(padded, expected)
+            view = ghosts.interior_view(padded)
+            assert np.array_equal(view, interior)
+            assert view.base is padded  # no copy
+            return True
+
+        assert all(spmd(4, fn_safe))
+
+    def test_repeated_exchanges_follow_data(self):
+        """Ghosts must track evolving interiors without re-setup."""
+        domain = Box((0,), (12,))
+
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            per = 12 // size
+            own = Box((rank * per,), (per,))
+            ghosts = GhostExchanger(comm, ndims=1, dtype=np.float64)
+            padded_box = ghosts.setup(own, halo=2, domain=domain)
+            for step in range(3):
+                interior = np.arange(per, dtype=np.float64) + rank * per + 100 * step
+                padded = ghosts.exchange(interior)
+                lo = padded_box.offset[0]
+                expected = np.arange(lo, lo + padded_box.dims[0], dtype=np.float64) + 100 * step
+                assert np.array_equal(padded, expected)
+            return True
+
+        assert all(spmd(3, fn))
+
+    def test_3d_halo(self):
+        domain = Box((0, 0, 0), (4, 4, 8))
+        reference = np.arange(128, dtype=np.float32).reshape(8, 4, 4)  # (z, y, x)
+
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            dz = 8 // size
+            own = Box((0, 0, rank * dz), (4, 4, dz))
+            ghosts = GhostExchanger(comm, ndims=3, dtype=np.float32)
+            padded_box = ghosts.setup(own, halo=(0, 0, 1), domain=domain)
+            interior = reference[rank * dz : (rank + 1) * dz]
+            padded = ghosts.exchange(interior)
+            z0 = padded_box.offset[2]
+            assert np.array_equal(padded, reference[z0 : z0 + padded_box.dims[2]])
+            return True
+
+        assert all(spmd(4, fn))
+
+    def test_errors(self):
+        def fn(comm):
+            ghosts = GhostExchanger(comm, ndims=1, dtype=np.float64)
+            with pytest.raises(RuntimeError):
+                ghosts.exchange(np.zeros(4))
+            with pytest.raises(ValueError, match="domain"):
+                ghosts.setup(Box((10,), (4,)), 1, Box((0,), (8,)))
+
+        spmd(1, fn)
+
+    def test_shape_mismatch_rejected(self):
+        def fn(comm):
+            ghosts = GhostExchanger(comm, ndims=1, dtype=np.float64)
+            ghosts.setup(Box((0,), (8,)), 1, Box((0,), (8,)))
+            with pytest.raises(ValueError, match="interior shape"):
+                ghosts.exchange(np.zeros(5))
+
+        spmd(1, fn)

@@ -1,0 +1,191 @@
+"""Planner tests: geometry -> rounds/entries, plus paper Table III checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Box, compute_global_plan
+from repro.utils import MiB
+
+
+def e1_plan():
+    """The paper's running example E1 (Figure 1 / Table I)."""
+    owns = [
+        [Box((0, r), (8, 1)), Box((0, r + 4), (8, 1))] for r in range(4)
+    ]
+    needs = [Box((4 * (r % 2), 4 * (r // 2)), (4, 4)) for r in range(4)]
+    return compute_global_plan(owns, needs, element_size=4)
+
+
+class TestE1:
+    def test_rounds_equal_max_chunks(self):
+        plan = e1_plan()
+        assert plan.nrounds == 2  # every rank owns two chunks
+
+    def test_rank0_send_map_matches_figure1_panel_b(self):
+        """Figure 1 panel B: rank 0 owns rows y=0 and y=4.  Row 0 splits
+        between ranks 0 (left) and 1 (right); row 4 between ranks 2 and 3."""
+        plan = e1_plan().rank_plans[0]
+        sends = {(s.round, s.dest): s.overlap for s in plan.sends}
+        assert sends[(0, 0)] == Box((0, 0), (4, 1))
+        assert sends[(0, 1)] == Box((4, 0), (4, 1))
+        assert sends[(1, 2)] == Box((0, 4), (4, 1))
+        assert sends[(1, 3)] == Box((4, 4), (4, 1))
+        assert len(plan.sends) == 4
+
+    def test_rank0_recv_map_matches_figure1_panel_b(self):
+        """Rank 0 needs the top-left quadrant: rows 0-3, i.e. one row slice
+        from each rank's first chunk (ranks 0..3 own rows 0..3)."""
+        plan = e1_plan().rank_plans[0]
+        recvs = {(r.round, r.source): r.overlap for r in plan.recvs}
+        for src in range(4):
+            assert recvs[(0, src)] == Box((0, src), (4, 1))
+        assert len(plan.recvs) == 4
+
+    def test_every_needed_cell_is_received_once_per_source_region(self):
+        plan = e1_plan()
+        for rank_plan in plan.rank_plans:
+            covered = set()
+            for entry in rank_plan.recvs:
+                cells = set(entry.overlap.cells())
+                assert not (covered & cells), "duplicate coverage"
+                covered |= cells
+            assert covered == set(rank_plan.need.cells())
+
+    def test_byte_accounting(self):
+        plan = e1_plan()
+        # Each rank sends 16 cells total; self-sends: rank r keeps the part
+        # of its rows inside its own quadrant (4 cells from one chunk).
+        p0 = plan.rank_plans[0]
+        assert p0.bytes_sent(4, exclude_self=False) == 16 * 4
+        assert p0.bytes_sent(4, exclude_self=True) == 12 * 4
+        assert p0.bytes_received(4, exclude_self=False) == 16 * 4
+
+    def test_traffic_matrix_symmetry_of_totals(self):
+        plan = e1_plan()
+        matrix = plan.traffic_matrix()
+        assert matrix.sum() == plan.total_bytes_moved(exclude_self=False)
+        # every rank receives exactly its quadrant
+        assert np.all(matrix.sum(axis=0) == 16 * 4)
+
+    def test_partners_per_rank(self):
+        plan = e1_plan()
+        assert plan.partners_per_rank() == [3, 3, 3, 3]
+
+
+class TestPlannerEdgeCases:
+    def test_empty_need_receives_nothing(self):
+        owns = [[Box((0,), (4,))], [Box((4,), (4,))]]
+        needs = [Box((0,), (8,)), None]
+        plan = compute_global_plan(owns, needs, 1)
+        assert plan.rank_plans[1].recvs == []
+        assert len(plan.rank_plans[0].recvs) == 2
+
+    def test_zero_volume_need(self):
+        owns = [[Box((0,), (4,))], [Box((4,), (4,))]]
+        needs = [Box((0,), (8,)), Box((0,), (0,))]
+        plan = compute_global_plan(owns, needs, 1)
+        assert plan.rank_plans[1].recvs == []
+
+    def test_overlapping_needs_allowed(self):
+        """Paper §III-B: receives may overlap (ghost zones)."""
+        owns = [[Box((0,), (4,))], [Box((4,), (4,))]]
+        needs = [Box((0,), (6,)), Box((2,), (6,))]
+        plan = compute_global_plan(owns, needs, 1)
+        total_recv = sum(
+            p.bytes_received(1, exclude_self=False) for p in plan.rank_plans
+        )
+        assert total_recv == 12  # 6 cells each, duplicated coverage
+
+    def test_uneven_chunk_counts(self):
+        owns = [
+            [Box((0,), (2,)), Box((4,), (2,)), Box((8,), (2,))],
+            [Box((2,), (2,)), Box((6,), (2,))],
+        ]
+        needs = [Box((0,), (5,)), Box((5,), (5,))]
+        plan = compute_global_plan(owns, needs, 4)
+        assert plan.nrounds == 3
+
+    def test_rank_with_no_chunks(self):
+        owns = [[Box((0,), (8,))], []]
+        needs = [Box((0,), (4,)), Box((4,), (4,))]
+        plan = compute_global_plan(owns, needs, 1)
+        assert plan.nrounds == 1
+        assert plan.rank_plans[1].sends == []
+        assert len(plan.rank_plans[1].recvs) == 1
+
+    def test_dimensionality_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_global_plan(
+                [[Box((0,), (4,))]], [Box((0, 0), (2, 2))], 1
+            )
+
+    def test_needs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compute_global_plan([[Box((0,), (4,))]], [], 1)
+
+    def test_empty_problem_rejected(self):
+        with pytest.raises(ValueError):
+            compute_global_plan([[], []], [None, None], 1)
+
+    def test_entries_sorted_deterministically(self):
+        plan = e1_plan()
+        for rank_plan in plan.rank_plans:
+            keys = [(s.round, s.dest) for s in rank_plan.sends]
+            assert keys == sorted(keys)
+            rkeys = [(r.round, r.source) for r in rank_plan.recvs]
+            assert rkeys == sorted(rkeys)
+
+
+def split(n, parts):
+    base, rem = divmod(n, parts)
+    sizes = [base + (1 if i < rem else 0) for i in range(parts)]
+    offsets = np.cumsum([0] + sizes[:-1])
+    return list(zip(offsets.tolist(), sizes))
+
+
+def tiff_geometry(grid, nx=4096, ny=2048, nz=4096):
+    """Full-scale paper geometry for Table III (grid^3 processes)."""
+    xs, ys, zs = split(nx, grid), split(ny, grid), split(nz, grid)
+    needs = []
+    for k in range(grid):
+        for j in range(grid):
+            for i in range(grid):
+                needs.append(
+                    Box((xs[i][0], ys[j][0], zs[k][0]), (xs[i][1], ys[j][1], zs[k][1]))
+                )
+    return needs
+
+
+@pytest.mark.slow
+class TestPaperTable3:
+    """Schedule math at the paper's full 128 GB scale (pure planning)."""
+
+    NX, NY, NZ, ESIZE = 4096, 2048, 4096, 4
+
+    def test_consecutive_27(self):
+        grid = 3
+        nprocs = grid**3
+        needs = tiff_geometry(grid)
+        owns = [
+            [Box((0, 0, z0), (self.NX, self.NY, zn))]
+            for z0, zn in split(self.NZ, nprocs)
+        ]
+        plan = compute_global_plan(owns, needs, self.ESIZE)
+        assert plan.nrounds == 1  # paper Table III
+        mb = plan.mean_bytes_per_chunk_round() / MiB
+        assert mb == pytest.approx(4315.12, abs=2.0)
+
+    def test_round_robin_27(self):
+        grid = 3
+        nprocs = grid**3
+        needs = tiff_geometry(grid)
+        owns = [
+            [Box((0, 0, z), (self.NX, self.NY, 1)) for z in range(r, self.NZ, nprocs)]
+            for r in range(nprocs)
+        ]
+        plan = compute_global_plan(owns, needs, self.ESIZE)
+        assert plan.nrounds == 152  # paper Table III
+        mb = plan.mean_bytes_per_chunk_round() / MiB
+        assert mb == pytest.approx(30.81, abs=0.1)

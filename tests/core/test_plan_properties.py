@@ -1,0 +1,111 @@
+"""Property tests of planner invariants on random decompositions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box, compute_global_plan
+from tests.core.test_reorganize_property import bisect_tiling, random_subbox
+
+
+def random_problem(seed: int, ndim: int = 2, nprocs: int = 4):
+    rng = np.random.default_rng(seed)
+    dims = tuple(int(rng.integers(2, 10)) for _ in range(ndim))
+    domain = Box((0,) * ndim, dims)
+    tiles = bisect_tiling(domain, int(rng.integers(nprocs, 3 * nprocs)), rng)
+    assignment = rng.integers(0, nprocs, size=len(tiles))
+    owns = [[tiles[i] for i in np.nonzero(assignment == r)[0]] for r in range(nprocs)]
+    if all(not chunks for chunks in owns):
+        owns[0] = tiles
+    needs = [random_subbox(domain, rng) for _ in range(nprocs)]
+    return domain, owns, needs
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=60, deadline=None)
+def test_rounds_equal_max_chunk_count(seed):
+    """Paper §III-C: #Alltoallw calls == max #chunks owned by any rank."""
+    _, owns, needs, = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 4)
+    assert plan.nrounds == max(len(chunks) for chunks in owns)
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=60, deadline=None)
+def test_traffic_matrix_conserves_bytes(seed):
+    _, owns, needs = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 4)
+    matrix = plan.traffic_matrix()
+    # Row sums = bytes each rank sends (incl. to itself).
+    for rank_plan in plan.rank_plans:
+        assert matrix[rank_plan.rank].sum() == rank_plan.bytes_sent(4, exclude_self=False)
+    # Column sums = bytes each rank receives.
+    for rank_plan in plan.rank_plans:
+        assert matrix[:, rank_plan.rank].sum() == rank_plan.bytes_received(
+            4, exclude_self=False
+        )
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=40, deadline=None)
+def test_recv_entries_exactly_tile_each_need(seed):
+    """The union of a rank's recv overlaps equals its need box, with no
+    double coverage — because the owned chunks tile the domain."""
+    domain, owns, needs = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 1)
+    for rank_plan in plan.rank_plans:
+        if rank_plan.need is None:
+            continue
+        covered: set = set()
+        for entry in rank_plan.recvs:
+            cells = set(entry.overlap.cells())
+            assert not (covered & cells), "cell received twice"
+            covered |= cells
+        assert covered == set(rank_plan.need.cells())
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=40, deadline=None)
+def test_sends_and_recvs_are_mirror_images(seed):
+    _, owns, needs = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 2)
+    sends = {
+        (p.rank, s.dest, s.round, s.overlap) for p in plan.rank_plans for s in p.sends
+    }
+    recvs = {
+        (r.source, p.rank, r.round, r.overlap) for p in plan.rank_plans for r in p.recvs
+    }
+    assert sends == recvs
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=40, deadline=None)
+def test_send_entries_stay_inside_their_chunk(seed):
+    _, owns, needs = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 2)
+    for rank_plan in plan.rank_plans:
+        for entry in rank_plan.sends:
+            assert entry.chunk.contains_box(entry.overlap)
+            assert needs[entry.dest].contains_box(entry.overlap)
+            assert entry.round == entry.chunk_index
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_statistics_consistent(seed):
+    _, owns, needs = random_problem(seed)
+    plan = compute_global_plan(owns, needs, 8)
+    total = plan.total_bytes_moved(exclude_self=True)
+    if plan.nrounds:
+        mean_rr = plan.mean_bytes_per_rank_per_round()
+        assert mean_rr * plan.nprocs * plan.nrounds == pytest.approx(total)
+    occupied = sum(len(c) for c in owns)
+    if occupied:
+        assert plan.mean_bytes_per_chunk_round() * occupied == pytest.approx(total)
+    assert plan.max_bytes_per_rank_per_round() >= 0
+    partners = plan.partners_per_rank()
+    assert len(partners) == plan.nprocs
+    assert all(0 <= p < plan.nprocs for p in partners)

@@ -1,0 +1,154 @@
+"""The central DDR correctness property, tested on random decompositions:
+
+    after reorganization, every cell of every rank's need buffer equals the
+    value that cell had in the (conceptual) global array, regardless of how
+    the owned chunks tiled the domain.
+
+Tilings are produced by recursive bisection so they are always mutually
+exclusive and complete (the paper's §III-B precondition); needs are
+arbitrary sub-boxes and may overlap across ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box, Redistributor
+from tests.conftest import spmd
+
+
+def bisect_tiling(domain: Box, count: int, rng: np.random.Generator) -> list[Box]:
+    """Split ``domain`` into exactly ``count`` mutually exclusive boxes."""
+    boxes = [domain]
+    while len(boxes) < count:
+        splittable = [i for i, b in enumerate(boxes) if max(b.dims) > 1]
+        if not splittable:
+            break
+        index = int(rng.choice(splittable))
+        box = boxes.pop(index)
+        axes = [a for a in range(box.ndim) if box.dims[a] > 1]
+        axis = int(rng.choice(axes))
+        cut = int(rng.integers(1, box.dims[axis]))
+        lo_dims = list(box.dims)
+        lo_dims[axis] = cut
+        hi_dims = list(box.dims)
+        hi_dims[axis] = box.dims[axis] - cut
+        hi_off = list(box.offset)
+        hi_off[axis] += cut
+        boxes.append(Box(box.offset, tuple(lo_dims)))
+        boxes.append(Box(tuple(hi_off), tuple(hi_dims)))
+    return boxes
+
+
+def random_subbox(domain: Box, rng: np.random.Generator) -> Box:
+    offset = []
+    dims = []
+    for full_off, full_dim in zip(domain.offset, domain.dims):
+        size = int(rng.integers(1, full_dim + 1))
+        start = int(rng.integers(0, full_dim - size + 1))
+        offset.append(full_off + start)
+        dims.append(size)
+    return Box(tuple(offset), tuple(dims))
+
+
+def global_reference(domain: Box, dtype) -> np.ndarray:
+    """Global array with unique cell values, shaped C-order (reversed dims)."""
+    return np.arange(domain.volume(), dtype=dtype).reshape(domain.np_shape())
+
+
+def extract(global_array: np.ndarray, domain: Box, region: Box) -> np.ndarray:
+    starts = region.np_starts_within(domain)
+    slices = tuple(slice(s, s + d) for s, d in zip(starts, region.np_shape()))
+    return global_array[slices]
+
+
+def run_case(ndim: int, nprocs: int, seed: int, backend: str) -> None:
+    rng = np.random.default_rng(seed)
+    dims = tuple(int(rng.integers(2, 9)) for _ in range(ndim))
+    domain = Box((0,) * ndim, dims)
+    nchunks = int(rng.integers(nprocs, 3 * nprocs + 1))
+    tiles = bisect_tiling(domain, nchunks, rng)
+    assignment = rng.integers(0, nprocs, size=len(tiles))
+    owns = [[tiles[i] for i in np.nonzero(assignment == r)[0]] for r in range(nprocs)]
+    # Guarantee at least one rank owns something (bisect always yields >= 1).
+    if all(len(chunks) == 0 for chunks in owns):
+        owns[0] = tiles
+    needs = [random_subbox(domain, rng) for _ in range(nprocs)]
+    reference = global_reference(domain, np.float32)
+
+    def fn(comm):
+        rank = comm.rank
+        red = Redistributor(comm, ndims=ndim, dtype=np.float32, backend=backend)
+        red.setup(own=owns[rank], need=needs[rank])
+        own_buffers = [
+            np.ascontiguousarray(extract(reference, domain, chunk)) for chunk in owns[rank]
+        ]
+        out = red.gather_need(own_buffers, fill=-1)
+        expect = extract(reference, domain, needs[rank])
+        assert np.array_equal(out, expect), (
+            rank,
+            owns[rank],
+            needs[rank],
+            out,
+            expect,
+        )
+        return True
+
+    assert all(spmd(nprocs, fn))
+
+
+@pytest.mark.parametrize("backend", ["alltoallw", "p2p"])
+class TestRedistributionProperty:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_1d(self, backend, seed):
+        run_case(1, 3, seed, backend)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_2d(self, backend, seed):
+        run_case(2, 4, seed, backend)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_3d(self, backend, seed):
+        run_case(3, 4, seed, backend)
+
+    def test_single_rank(self, backend):
+        run_case(2, 1, 7, backend)
+
+    def test_many_ranks(self, backend):
+        run_case(2, 8, 11, backend)
+
+
+class TestBackendsAgree:
+    """Both backends must produce identical buffers for the same plan."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_identical_output(self, seed):
+        rng = np.random.default_rng(seed)
+        ndim, nprocs = 2, 4
+        dims = tuple(int(rng.integers(3, 8)) for _ in range(ndim))
+        domain = Box((0,) * ndim, dims)
+        tiles = bisect_tiling(domain, 2 * nprocs, rng)
+        assignment = rng.integers(0, nprocs, size=len(tiles))
+        owns = [[tiles[i] for i in np.nonzero(assignment == r)[0]] for r in range(nprocs)]
+        needs = [random_subbox(domain, rng) for _ in range(nprocs)]
+        reference = global_reference(domain, np.float32)
+
+        def fn(comm, backend):
+            red = Redistributor(comm, ndims=ndim, dtype=np.float32, backend=backend)
+            red.setup(own=owns[comm.rank], need=needs[comm.rank])
+            buffers = [
+                np.ascontiguousarray(extract(reference, domain, c)) for c in owns[comm.rank]
+            ]
+            return red.gather_need(buffers, fill=-1)
+
+        out_a = spmd(nprocs, fn, "alltoallw")
+        out_b = spmd(nprocs, fn, "p2p")
+        for a, b in zip(out_a, out_b):
+            assert np.array_equal(a, b)

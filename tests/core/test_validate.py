@@ -1,0 +1,92 @@
+"""Mapping precondition checks (paper §III-B exclusivity/completeness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Box, MappingValidationError, check_send_coverage, infer_domain
+from repro.core.validate import check_receives_within_domain
+
+
+class TestInferDomain:
+    def test_bounding_box(self):
+        owns = [[Box((0, 0), (4, 2))], [Box((0, 2), (4, 2))]]
+        assert infer_domain(owns) == Box((0, 0), (4, 4))
+
+    def test_empty(self):
+        assert infer_domain([[], []]) is None
+
+    def test_ignores_zero_volume(self):
+        owns = [[Box((0,), (4,)), Box((100,), (0,))]]
+        assert infer_domain(owns) == Box((0,), (4,))
+
+
+class TestSendCoverage:
+    def test_valid_tiling(self):
+        owns = [[Box((0, r), (8, 1)), Box((0, r + 4), (8, 1))] for r in range(4)]
+        domain = check_send_coverage(owns)
+        assert domain == Box((0, 0), (8, 8))
+
+    def test_overlap_detected(self):
+        owns = [[Box((0,), (5,))], [Box((4,), (4,))]]
+        with pytest.raises(MappingValidationError, match="overlap"):
+            check_send_coverage(owns)
+
+    def test_gap_detected(self):
+        owns = [[Box((0,), (3,))], [Box((5,), (3,))]]
+        with pytest.raises(MappingValidationError, match="incomplete"):
+            check_send_coverage(owns)
+
+    def test_gap_plus_overlap_same_volume_detected(self):
+        """Total volume equals the domain volume but the tiling is wrong:
+        cells 0-1 owned twice, cell 3 unowned."""
+        owns = [[Box((0,), (2,))], [Box((0,), (3,))], [Box((4,), (3,))]]
+        # bounding box [0,7) has 7 cells; boxes have 2+3+3 = 8 > 7 -> overlap
+        with pytest.raises(MappingValidationError):
+            check_send_coverage(owns)
+
+    def test_no_data_rejected(self):
+        with pytest.raises(MappingValidationError, match="no rank owns"):
+            check_send_coverage([[], []])
+
+    def test_explicit_domain_outside_chunk(self):
+        owns = [[Box((0,), (4,))]]
+        with pytest.raises(MappingValidationError):
+            check_send_coverage(owns, domain=Box((0,), (2,)))
+
+    def test_2d_checkerboard(self):
+        owns = [
+            [Box((0, 0), (2, 2)), Box((2, 2), (2, 2))],
+            [Box((2, 0), (2, 2)), Box((0, 2), (2, 2))],
+        ]
+        assert check_send_coverage(owns) == Box((0, 0), (4, 4))
+
+    def test_3d_slabs(self):
+        owns = [[Box((0, 0, 2 * r), (4, 4, 2))] for r in range(4)]
+        assert check_send_coverage(owns) == Box((0, 0, 0), (4, 4, 8))
+
+    def test_overlap_in_3d_detected(self):
+        owns = [[Box((0, 0, 0), (4, 4, 3))], [Box((0, 0, 2), (4, 4, 3))]]
+        with pytest.raises(MappingValidationError):
+            check_send_coverage(owns)
+
+    def test_many_slabs_fast(self):
+        """Sweep validation must handle hundreds of slabs without O(n^2) pain."""
+        owns = [[Box((0, 0, z), (64, 64, 1))] for z in range(512)]
+        assert check_send_coverage(owns).dims == (64, 64, 512)
+
+
+class TestReceivesWithinDomain:
+    def test_ok(self):
+        domain = Box((0, 0), (8, 8))
+        check_receives_within_domain([Box((0, 0), (4, 4)), None], domain)
+
+    def test_outside_rejected(self):
+        domain = Box((0, 0), (8, 8))
+        with pytest.raises(MappingValidationError, match="rank 1"):
+            check_receives_within_domain(
+                [Box((0, 0), (4, 4)), Box((6, 6), (4, 4))], domain
+            )
+
+    def test_empty_need_skipped(self):
+        check_receives_within_domain([Box((100, 100), (0, 0))], Box((0, 0), (2, 2)))

@@ -1,0 +1,157 @@
+"""Bricked volume format tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box
+from repro.imaging import BrickFormatError, BrickedHeader, BrickedVolume
+
+
+class TestHeader:
+    def test_grid_and_sizes(self):
+        header = BrickedHeader(dims=(100, 50, 70), brick=32, dtype=np.uint16)
+        assert header.grid == (4, 2, 3)
+        assert header.n_bricks == 24
+        assert header.brick_bytes == 32**3 * 2
+
+    def test_pack_unpack(self):
+        header = BrickedHeader(dims=(10, 20, 30), brick=8, dtype=np.float32)
+        assert BrickedHeader.unpack(header.pack()) == header
+
+    def test_bad_magic(self):
+        with pytest.raises(BrickFormatError, match="magic"):
+            BrickedHeader.unpack(b"NOTBRICK" + b"\x00" * 50)
+
+    def test_too_small(self):
+        with pytest.raises(BrickFormatError):
+            BrickedHeader.unpack(b"xx")
+
+    def test_validation(self):
+        with pytest.raises(BrickFormatError):
+            BrickedHeader(dims=(4, 4, 4), brick=0, dtype=np.uint8)
+        with pytest.raises(BrickFormatError):
+            BrickedHeader(dims=(0, 4, 4), brick=2, dtype=np.uint8)
+
+    def test_brick_box_clipped_at_edges(self):
+        header = BrickedHeader(dims=(10, 10, 10), brick=4, dtype=np.uint8)
+        assert header.brick_box(0, 0, 0) == Box((0, 0, 0), (4, 4, 4))
+        assert header.brick_box(2, 2, 2) == Box((8, 8, 8), (2, 2, 2))
+
+    def test_brick_bounds_checked(self):
+        header = BrickedHeader(dims=(10, 10, 10), brick=4, dtype=np.uint8)
+        with pytest.raises(BrickFormatError):
+            header.brick_offset(3, 0, 0)
+
+    def test_offsets_distinct_and_ordered(self):
+        header = BrickedHeader(dims=(9, 9, 9), brick=4, dtype=np.uint8)
+        offsets = [
+            header.brick_offset(i, j, k)
+            for k in range(3) for j in range(3) for i in range(3)
+        ]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 27
+
+
+class TestVolumeRoundtrip:
+    def volume(self, tmp_path, dims=(20, 12, 9), brick=4, dtype=np.uint16):
+        return BrickedVolume.create(tmp_path / "v.bricks", dims, dtype, brick)
+
+    def test_create_allocates_full_file(self, tmp_path):
+        vol = self.volume(tmp_path)
+        assert vol.path.stat().st_size == vol.header.file_size
+
+    def test_write_read_brick(self, tmp_path, rng):
+        vol = self.volume(tmp_path)
+        data = rng.integers(0, 2**16 - 1, (4, 4, 4)).astype(np.uint16)
+        vol.write_brick(1, 1, 0, data)
+        assert np.array_equal(vol.read_brick(1, 1, 0), data)
+        # untouched brick reads as zeros
+        assert vol.read_brick(0, 0, 0).sum() == 0
+
+    def test_edge_brick_clipped_shape(self, tmp_path, rng):
+        vol = self.volume(tmp_path)  # dims (20,12,9), brick 4 -> grid (5,3,3)
+        box = vol.header.brick_box(4, 2, 2)
+        assert box.dims == (4, 4, 1)
+        data = rng.integers(0, 99, box.np_shape()).astype(np.uint16)
+        vol.write_brick(4, 2, 2, data)
+        assert np.array_equal(vol.read_brick(4, 2, 2), data)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        vol = self.volume(tmp_path)
+        with pytest.raises(BrickFormatError, match="shape"):
+            vol.write_brick(0, 0, 0, np.zeros((2, 2, 2), np.uint16))
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        vol = self.volume(tmp_path)
+        with pytest.raises(BrickFormatError, match="dtype"):
+            vol.write_brick(0, 0, 0, np.zeros((4, 4, 4), np.float32))
+
+    def test_read_region_across_bricks(self, tmp_path, rng):
+        dims = (20, 12, 9)
+        reference = rng.integers(0, 2**16 - 1, (9, 12, 20)).astype(np.uint16)
+        vol = self.volume(tmp_path, dims=dims)
+        header = vol.header
+        gx, gy, gz = header.grid
+        for k in range(gz):
+            for j in range(gy):
+                for i in range(gx):
+                    box = header.brick_box(i, j, k)
+                    x0, y0, z0 = box.offset
+                    w, h, d = box.dims
+                    vol.write_brick(
+                        i, j, k,
+                        np.ascontiguousarray(
+                            reference[z0 : z0 + d, y0 : y0 + h, x0 : x0 + w]
+                        ),
+                    )
+        region = Box((3, 2, 1), (10, 7, 6))
+        got = vol.read_region(region)
+        assert np.array_equal(got, reference[1:7, 2:9, 3:13])
+
+    def test_region_outside_rejected(self, tmp_path):
+        vol = self.volume(tmp_path)
+        with pytest.raises(BrickFormatError, match="outside"):
+            vol.read_region(Box((18, 0, 0), (4, 2, 2)))
+
+    def test_bricks_touched_counts(self, tmp_path):
+        vol = self.volume(tmp_path)  # brick 4
+        assert vol.bricks_touched(Box((0, 0, 0), (4, 4, 4))) == 1
+        assert vol.bricks_touched(Box((2, 2, 2), (4, 4, 4))) == 8
+        assert vol.bricks_touched(Box((0, 0, 0), (20, 12, 9))) == vol.header.n_bricks
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_regions(self, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        dims = tuple(int(rng.integers(5, 15)) for _ in range(3))
+        brick = int(rng.integers(2, 6))
+        reference = rng.integers(0, 255, tuple(reversed(dims))).astype(np.uint8)
+        path = tmp_path_factory.mktemp("b") / "v.bricks"
+        vol = BrickedVolume.create(path, dims, np.uint8, brick)
+        gx, gy, gz = vol.header.grid
+        for k in range(gz):
+            for j in range(gy):
+                for i in range(gx):
+                    box = vol.header.brick_box(i, j, k)
+                    x0, y0, z0 = box.offset
+                    w, h, d = box.dims
+                    vol.write_brick(
+                        i, j, k,
+                        np.ascontiguousarray(
+                            reference[z0 : z0 + d, y0 : y0 + h, x0 : x0 + w]
+                        ),
+                    )
+        # random region
+        offset = tuple(int(rng.integers(0, d)) for d in dims)
+        size = tuple(
+            int(rng.integers(1, d - o + 1)) for o, d in zip(offset, dims)
+        )
+        region = Box(offset, size)
+        got = vol.read_region(region)
+        x0, y0, z0 = offset
+        w, h, d = size
+        assert np.array_equal(got, reference[z0 : z0 + d, y0 : y0 + h, x0 : x0 + w])

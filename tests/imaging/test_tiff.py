@@ -1,0 +1,163 @@
+"""TIFF codec tests: roundtrips, format details, error handling."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging import TiffError, read_tiff, read_tiff_info, write_tiff
+
+DTYPES = [np.uint8, np.uint16, np.uint32, np.float32]
+
+
+def roundtrip(image: np.ndarray, rows_per_strip: int = 64) -> np.ndarray:
+    buf = io.BytesIO()
+    write_tiff(buf, image, rows_per_strip=rows_per_strip)
+    buf.seek(0)
+    return read_tiff(buf)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_exact_roundtrip(self, dtype, rng):
+        if np.issubdtype(dtype, np.floating):
+            image = rng.random((37, 53)).astype(dtype)
+        else:
+            image = rng.integers(0, np.iinfo(dtype).max, (37, 53)).astype(dtype)
+        out = roundtrip(image)
+        assert out.dtype == image.dtype
+        assert np.array_equal(out, image)
+
+    def test_single_strip(self, rng):
+        image = rng.integers(0, 255, (16, 16)).astype(np.uint8)
+        assert np.array_equal(roundtrip(image, rows_per_strip=16), image)
+
+    def test_many_strips(self, rng):
+        image = rng.integers(0, 255, (100, 7)).astype(np.uint8)
+        assert np.array_equal(roundtrip(image, rows_per_strip=3), image)
+
+    def test_one_pixel(self):
+        image = np.array([[42]], dtype=np.uint8)
+        assert np.array_equal(roundtrip(image), image)
+
+    def test_single_row(self, rng):
+        image = rng.integers(0, 2**16, (1, 300)).astype(np.uint16)
+        assert np.array_equal(roundtrip(image), image)
+
+    @given(
+        h=st.integers(1, 40),
+        w=st.integers(1, 40),
+        rows=st.integers(1, 45),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, h, w, rows, seed):
+        rng = np.random.default_rng(seed)
+        image = rng.integers(0, 2**32 - 1, (h, w), dtype=np.uint32)
+        assert np.array_equal(roundtrip(image, rows_per_strip=rows), image)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        image = rng.random((20, 30)).astype(np.float32)
+        path = tmp_path / "x.tif"
+        write_tiff(path, image)
+        assert np.array_equal(read_tiff(path), image)
+
+
+class TestFormatDetails:
+    def test_header_is_little_endian_classic(self, rng):
+        buf = io.BytesIO()
+        write_tiff(buf, rng.integers(0, 255, (4, 4)).astype(np.uint8))
+        raw = buf.getvalue()
+        assert raw[:2] == b"II"
+        assert struct.unpack("<H", raw[2:4])[0] == 42
+
+    def test_info_fields(self, rng):
+        buf = io.BytesIO()
+        write_tiff(buf, rng.integers(0, 255, (48, 32)).astype(np.uint16), rows_per_strip=16)
+        info = read_tiff_info(buf.getvalue())
+        assert (info.width, info.height) == (32, 48)
+        assert info.dtype == np.uint16
+        assert len(info.strip_offsets) == 3
+        assert info.rows_per_strip == 16
+        assert info.nbytes == 48 * 32 * 2
+
+    def test_float32_sample_format(self, rng):
+        buf = io.BytesIO()
+        write_tiff(buf, rng.random((8, 8)).astype(np.float32))
+        info = read_tiff_info(buf.getvalue())
+        assert info.dtype == np.float32
+
+    def test_big_endian_read(self, rng):
+        """Hand-build a minimal big-endian ('MM') single-strip TIFF."""
+        image = rng.integers(0, 2**16 - 1, (3, 5)).astype(np.uint16)
+        pixels = image.astype(">u2").tobytes()
+        entries = [
+            (256, 4, 1, 5),  # width
+            (257, 4, 1, 3),  # height
+            (258, 3, 1, 16),
+            (259, 3, 1, 1),
+            (262, 3, 1, 1),
+            (273, 4, 1, 8),  # strip at byte 8
+            (277, 3, 1, 1),
+            (278, 4, 1, 3),
+            (279, 4, 1, len(pixels)),
+            (339, 3, 1, 1),
+        ]
+        ifd_offset = 8 + len(pixels)
+        blob = struct.pack(">2sHI", b"MM", 42, ifd_offset) + pixels
+        blob += struct.pack(">H", len(entries))
+        for tag, ftype, count, value in entries:
+            if ftype == 3:
+                blob += struct.pack(">HHIHH", tag, ftype, count, value, 0)
+            else:
+                blob += struct.pack(">HHII", tag, ftype, count, value)
+        blob += struct.pack(">I", 0)
+        out = read_tiff(io.BytesIO(blob))
+        assert np.array_equal(out, image)
+
+
+class TestErrors:
+    def test_non_2d_rejected(self):
+        with pytest.raises(TiffError):
+            write_tiff(io.BytesIO(), np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TiffError):
+            write_tiff(io.BytesIO(), np.zeros((2, 2), dtype=np.int64))
+
+    def test_bad_rows_per_strip(self):
+        with pytest.raises(TiffError):
+            write_tiff(io.BytesIO(), np.zeros((2, 2), dtype=np.uint8), rows_per_strip=0)
+
+    def test_bad_magic(self):
+        with pytest.raises(TiffError, match="byte-order"):
+            read_tiff_info(b"XX" + b"\x00" * 10)
+
+    def test_bad_version(self):
+        with pytest.raises(TiffError, match="magic"):
+            read_tiff_info(struct.pack("<2sHI", b"II", 43, 8) + b"\x00" * 8)
+
+    def test_truncated(self):
+        with pytest.raises(TiffError):
+            read_tiff_info(b"II")
+
+    def test_ifd_offset_out_of_range(self):
+        with pytest.raises(TiffError, match="IFD"):
+            read_tiff_info(struct.pack("<2sHI", b"II", 42, 9999))
+
+    def test_strip_beyond_eof(self, rng):
+        buf = io.BytesIO()
+        write_tiff(buf, rng.integers(0, 255, (8, 8)).astype(np.uint8))
+        raw = bytearray(buf.getvalue())
+        # Corrupt: point the strip offset near EOF.
+        blob = bytes(raw)
+        info = read_tiff_info(blob)
+        assert info.strip_offsets[0] == 8
+        corrupted = blob[: len(blob) - 70]  # chop the pixel data region indirectly
+        with pytest.raises(TiffError):
+            read_tiff(io.BytesIO(corrupted[:40]))

@@ -1,0 +1,167 @@
+"""Unit + property tests for MPI-like derived datatypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import (
+    BYTE,
+    ContiguousType,
+    DOUBLE,
+    DatatypeError,
+    FLOAT,
+    INT,
+    NamedType,
+    SubarrayType,
+    VectorType,
+    named_type_for,
+)
+
+
+class TestNamedTypes:
+    def test_constants_map_to_numpy(self):
+        assert FLOAT.dtype == np.float32
+        assert DOUBLE.dtype == np.float64
+        assert INT.dtype == np.int32
+        assert BYTE.dtype == np.uint8
+
+    def test_get_size(self):
+        assert FLOAT.Get_size() == 4
+        assert DOUBLE.Get_size() == 8
+
+    def test_named_type_for_roundtrip(self):
+        assert named_type_for(np.float32) is FLOAT
+        assert named_type_for("float64") is DOUBLE
+
+    def test_named_type_for_novel_dtype(self):
+        t = named_type_for(np.complex128)
+        assert t.dtype == np.complex128
+        assert named_type_for(np.complex128) is t  # cached
+
+    def test_pack_unpack_single(self):
+        buf = np.array([1.5, 2.5], dtype=np.float32)
+        out = FLOAT.pack(buf)
+        assert out.tolist() == [1.5]
+        FLOAT.unpack(buf, np.array([9.0], dtype=np.float32))
+        assert buf[0] == 9.0
+
+
+class TestContiguous:
+    def test_pack(self):
+        t = FLOAT.Create_contiguous(3)
+        buf = np.arange(5, dtype=np.float32)
+        assert t.pack(buf).tolist() == [0, 1, 2]
+
+    def test_unpack(self):
+        t = FLOAT.Create_contiguous(2)
+        buf = np.zeros(4, dtype=np.float32)
+        t.unpack(buf, np.array([7, 8], dtype=np.float32))
+        assert buf.tolist() == [7, 8, 0, 0]
+
+    def test_size(self):
+        assert FLOAT.Create_contiguous(6).size_bytes() == 24
+
+    def test_buffer_too_small(self):
+        t = FLOAT.Create_contiguous(10)
+        with pytest.raises(DatatypeError):
+            t.pack(np.zeros(3, dtype=np.float32))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            ContiguousType(FLOAT, -1)
+
+    def test_dtype_mismatch_rejected(self):
+        t = FLOAT.Create_contiguous(2)
+        with pytest.raises(DatatypeError):
+            t.pack(np.zeros(4, dtype=np.float64))
+
+
+class TestVector:
+    def test_pack_strided(self):
+        # 3 blocks of 2 elements, stride 4: indices 0,1,4,5,8,9
+        t = INT.Create_vector(3, 2, 4)
+        buf = np.arange(12, dtype=np.int32)
+        assert t.pack(buf).tolist() == [0, 1, 4, 5, 8, 9]
+
+    def test_unpack_strided(self):
+        t = INT.Create_vector(2, 1, 3)
+        buf = np.zeros(4, dtype=np.int32)
+        t.unpack(buf, np.array([5, 6], dtype=np.int32))
+        assert buf.tolist() == [5, 0, 0, 6]
+
+    def test_roundtrip(self):
+        t = DOUBLE.Create_vector(4, 3, 5)
+        src = np.arange(20, dtype=np.float64)
+        dst = np.zeros(20, dtype=np.float64)
+        t.unpack(dst, t.pack(src))
+        assert t.pack(dst).tolist() == t.pack(src).tolist()
+
+    def test_extent_check(self):
+        t = INT.Create_vector(3, 2, 4)  # extent = 2*4 + 2 = 10
+        with pytest.raises(DatatypeError):
+            t.pack(np.zeros(9, dtype=np.int32))
+        t.pack(np.zeros(10, dtype=np.int32))  # exactly enough
+
+
+class TestSubarray:
+    def test_2d_block(self):
+        t = FLOAT.Create_subarray((4, 4), (2, 2), (1, 1))
+        buf = np.arange(16, dtype=np.float32)
+        assert t.pack(buf).tolist() == [5, 6, 9, 10]
+
+    def test_3d_block(self):
+        t = INT.Create_subarray((2, 3, 4), (1, 2, 2), (1, 0, 1))
+        buf = np.arange(24, dtype=np.int32)
+        grid = buf.reshape(2, 3, 4)
+        expect = grid[1:2, 0:2, 1:3].reshape(-1)
+        assert t.pack(buf).tolist() == expect.tolist()
+
+    def test_unpack_writes_only_block(self):
+        t = FLOAT.Create_subarray((3, 3), (2, 1), (0, 2))
+        buf = np.zeros(9, dtype=np.float32)
+        t.unpack(buf, np.array([1, 2], dtype=np.float32))
+        assert buf.reshape(3, 3)[:, 2].tolist() == [1, 2, 0]
+        assert buf.reshape(3, 3)[:, :2].sum() == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(DatatypeError):
+            SubarrayType(FLOAT, (4, 4), (2, 2), (3, 0))  # start+sub > full
+        with pytest.raises(DatatypeError):
+            SubarrayType(FLOAT, (4,), (2, 2), (0, 0))  # rank mismatch
+        with pytest.raises(DatatypeError):
+            SubarrayType(FLOAT, (4,), (-1,), (0,))
+        with pytest.raises(DatatypeError):
+            SubarrayType(FLOAT, (4, 4), (2, 2), (0, 0), order="F")
+
+    def test_commit_free_are_noops(self):
+        t = SubarrayType(FLOAT, (4,), (2,), (1,))
+        assert t.Commit() is t
+        t.Free()
+
+    @given(
+        sizes=st.tuples(*[st.integers(1, 8)] * 3),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, sizes, data):
+        """unpack(pack(x)) restores the selected region exactly and leaves
+        the rest of the destination untouched."""
+        subsizes = tuple(data.draw(st.integers(1, s)) for s in sizes)
+        starts = tuple(
+            data.draw(st.integers(0, s - sub)) for s, sub in zip(sizes, subsizes)
+        )
+        t = DOUBLE.Create_subarray(sizes, subsizes, starts)
+        n = int(np.prod(sizes))
+        src = np.arange(n, dtype=np.float64)
+        dst = np.full(n, -1.0)
+        t.unpack(dst, t.pack(src))
+        grid_s = src.reshape(sizes)
+        grid_d = dst.reshape(sizes)
+        sl = tuple(slice(o, o + s) for o, s in zip(starts, subsizes))
+        assert np.array_equal(grid_d[sl], grid_s[sl])
+        untouched = np.full(n, -1.0).reshape(sizes)
+        untouched[sl] = grid_s[sl]
+        assert np.array_equal(grid_d, untouched)

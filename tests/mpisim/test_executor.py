@@ -1,0 +1,98 @@
+"""SPMD executor: results, failure propagation, abort semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpisim import (
+    CommunicatorError,
+    Fabric,
+    RankFailure,
+    TimeoutError_,
+    run_spmd,
+    world_communicators,
+)
+from tests.conftest import spmd
+
+
+class TestRunSpmd:
+    def test_results_in_rank_order(self):
+        assert spmd(4, lambda comm: comm.rank * 2) == [0, 2, 4, 6]
+
+    def test_single_rank(self):
+        assert spmd(1, lambda comm: comm.size) == [1]
+
+    def test_args_kwargs_forwarded(self):
+        def fn(comm, a, b=0):
+            return a + b + comm.rank
+
+        assert spmd(3, fn, 10, b=5) == [15, 16, 17]
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(CommunicatorError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_propagates_with_rank(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(RankFailure) as excinfo:
+            spmd(4, fn)
+        assert excinfo.value.rank == 2
+        assert isinstance(excinfo.value.original, ValueError)
+
+    def test_failure_aborts_blocked_peers(self):
+        """Rank 1 dies; rank 0 is blocked in Recv and must be released,
+        not deadlock until the timeout."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.Recv(np.zeros(1), source=1)  # never satisfied
+            else:
+                raise RuntimeError("dead rank")
+
+        with pytest.raises(RankFailure) as excinfo:
+            spmd(2, fn)
+        assert excinfo.value.rank == 1
+
+    def test_deadlock_detected_by_timeout(self):
+        def fn(comm):
+            comm.Recv(np.zeros(1), source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(RankFailure) as excinfo:
+            run_spmd(2, fn, deadlock_timeout=0.5)
+        assert isinstance(excinfo.value.original, TimeoutError_)
+
+    def test_ranks_run_concurrently(self):
+        """A rendezvous that requires both ranks in flight simultaneously."""
+
+        def fn(comm):
+            other = 1 - comm.rank
+            comm.Send(np.array([float(comm.rank)]), dest=other)
+            buf = np.zeros(1)
+            comm.Recv(buf, source=other)
+            return buf[0]
+
+        assert spmd(2, fn) == [1.0, 0.0]
+
+    def test_many_ranks(self):
+        result = spmd(32, lambda comm: comm.allreduce(1))
+        assert result == [32] * 32
+
+
+class TestWorldCommunicators:
+    def test_share_one_fabric(self):
+        comms = world_communicators(3)
+        assert all(c.fabric is comms[0].fabric for c in comms)
+        assert [c.rank for c in comms] == [0, 1, 2]
+        assert all(c.size == 3 for c in comms)
+
+    def test_fabric_abort_flag(self):
+        fabric = Fabric(2)
+        assert fabric.aborted is None
+        err = ValueError("x")
+        fabric.abort(err)
+        assert fabric.aborted is err

@@ -1,0 +1,108 @@
+"""Scan / Exscan / Reduce_scatter_block tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpisim import CommunicatorError, MAX, SUM
+from tests.conftest import spmd
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", [1, 2, 5])
+    def test_inclusive_prefix_sum(self, size):
+        def fn(comm):
+            out = np.zeros(1)
+            comm.Scan(np.array([float(comm.rank + 1)]), out, op=SUM)
+            expect = sum(range(1, comm.rank + 2))
+            assert out[0] == expect
+
+        spmd(size, fn)
+
+    def test_prefix_max(self):
+        values = [3.0, 1.0, 7.0, 2.0]
+
+        def fn(comm):
+            out = np.zeros(1)
+            comm.Scan(np.array([values[comm.rank]]), out, op=MAX)
+            assert out[0] == max(values[: comm.rank + 1])
+
+        spmd(4, fn)
+
+    def test_array_payload(self):
+        def fn(comm):
+            send = np.full(3, float(comm.rank))
+            out = np.zeros(3)
+            comm.Scan(send, out, op=SUM)
+            assert np.all(out == sum(range(comm.rank + 1)))
+
+        spmd(4, fn)
+
+
+class TestExscan:
+    def test_exclusive_prefix_sum(self):
+        def fn(comm):
+            out = np.full(1, -99.0)
+            comm.Exscan(np.array([float(comm.rank + 1)]), out, op=SUM)
+            if comm.rank == 0:
+                assert out[0] == -99.0  # untouched, MPI semantics
+            else:
+                assert out[0] == sum(range(1, comm.rank + 1))
+
+        spmd(5, fn)
+
+    def test_two_ranks(self):
+        def fn(comm):
+            out = np.zeros(1)
+            comm.Exscan(np.array([5.0 + comm.rank]), out, op=SUM)
+            if comm.rank == 1:
+                assert out[0] == 5.0
+
+        spmd(2, fn)
+
+    def test_scan_exscan_relation(self):
+        """Scan(r) == op(Exscan(r), x_r) for r > 0."""
+
+        def fn(comm):
+            x = np.array([float(2 * comm.rank + 1)])
+            inclusive = np.zeros(1)
+            comm.Scan(x, inclusive, op=SUM)
+            exclusive = np.zeros(1)
+            comm.Exscan(x, exclusive, op=SUM)
+            if comm.rank > 0:
+                assert inclusive[0] == exclusive[0] + x[0]
+
+        spmd(4, fn)
+
+
+class TestReduceScatterBlock:
+    def test_sum_and_scatter(self):
+        def fn(comm):
+            size, rank = comm.size, comm.rank
+            # Block d of rank r's contribution = r*10 + d, twice per block.
+            send = np.repeat(
+                np.array([rank * 10.0 + d for d in range(size)]), 2
+            )
+            recv = np.zeros(2)
+            comm.Reduce_scatter_block(send, recv, op=SUM)
+            expect = sum(r * 10.0 + rank for r in range(size))
+            assert np.all(recv == expect)
+
+        spmd(4, fn)
+
+    def test_size_checked(self):
+        def fn(comm):
+            with pytest.raises(CommunicatorError, match="Reduce_scatter_block"):
+                comm.Reduce_scatter_block(np.zeros(5), np.zeros(2))
+
+        spmd(2, fn)
+
+    def test_single_rank(self):
+        def fn(comm):
+            send = np.array([1.0, 2.0])
+            recv = np.zeros(2)
+            comm.Reduce_scatter_block(send, recv)
+            assert recv.tolist() == [1.0, 2.0]
+
+        spmd(1, fn)

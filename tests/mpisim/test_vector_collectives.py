@@ -1,0 +1,153 @@
+"""Gatherv / Scatterv / Alltoall tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpisim import CommunicatorError, TruncationError
+from tests.conftest import spmd
+
+
+class TestGatherv:
+    def test_variable_blocks(self):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            send = np.full(rank + 1, float(rank))
+            counts = [r + 1 for r in range(size)]
+            if rank == 0:
+                recv = np.zeros(sum(counts))
+                comm.Gatherv(send, recv, counts)
+                cursor = 0
+                for r in range(size):
+                    seg = recv[cursor : cursor + r + 1]
+                    assert np.all(seg == r), (r, recv)
+                    cursor += r + 1
+            else:
+                comm.Gatherv(send, None, None)
+
+        spmd(4, fn)
+
+    def test_explicit_displs(self):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            send = np.array([float(rank)])
+            counts = [1] * size
+            displs = [(size - 1 - r) for r in range(size)]  # reversed layout
+            if rank == 0:
+                recv = np.zeros(size)
+                comm.Gatherv(send, recv, counts, displs)
+                assert recv.tolist() == [float(size - 1 - i) for i in range(size)]
+            else:
+                comm.Gatherv(send, None, None)
+
+        spmd(4, fn)
+
+    def test_root_count_mismatch(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="root sends"):
+                    comm.Gatherv(np.zeros(3), np.zeros(4), [2, 2])
+            else:
+                # Partner never participates; root fails before receiving.
+                pass
+
+        spmd(2, fn)
+
+    def test_missing_recv_args(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="recvbuf"):
+                    comm.Gatherv(np.zeros(1), None, None)
+
+        spmd(2, fn)
+
+
+class TestScatterv:
+    def test_variable_blocks(self):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            counts = [r + 2 for r in range(size)]
+            recv = np.zeros(rank + 2)
+            if rank == 0:
+                send = np.concatenate(
+                    [np.full(r + 2, float(10 * r)) for r in range(size)]
+                )
+                comm.Scatterv(send, counts, recv)
+            else:
+                comm.Scatterv(None, None, recv)
+            assert np.all(recv == 10.0 * rank)
+
+        spmd(4, fn)
+
+    def test_truncation(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.Scatterv(np.zeros(4), [2, 2], np.zeros(2))
+            else:
+                with pytest.raises(TruncationError):
+                    comm.Scatterv(None, None, np.zeros(1))
+
+        spmd(2, fn)
+
+    def test_root_missing_args(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError, match="sendbuf"):
+                    comm.Scatterv(None, None, np.zeros(1))
+
+        spmd(2, fn)
+
+    def test_roundtrip_with_gatherv(self):
+        """Scatterv then Gatherv restores the root's buffer."""
+
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            counts = [2 * r + 1 for r in range(size)]
+            recv = np.zeros(2 * rank + 1)
+            original = np.arange(sum(counts), dtype=np.float64)
+            if rank == 0:
+                comm.Scatterv(original, counts, recv)
+            else:
+                comm.Scatterv(None, None, recv)
+            recv += 0.0  # no-op transform
+            if rank == 0:
+                back = np.zeros(sum(counts))
+                comm.Gatherv(recv, back, counts)
+                assert np.array_equal(back, original)
+            else:
+                comm.Gatherv(recv, None, None)
+
+        spmd(3, fn)
+
+
+class TestAlltoallArrays:
+    def test_block_exchange(self):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            send = np.array(
+                [100.0 * rank + d for d in range(size)]
+            )  # one element per dest
+            recv = np.zeros(size)
+            comm.Alltoall(send, recv)
+            assert recv.tolist() == [100.0 * s + rank for s in range(size)]
+
+        spmd(5, fn)
+
+    def test_multi_element_blocks(self):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            send = np.repeat(np.arange(size, dtype=np.float64) + 10 * rank, 3)
+            recv = np.zeros(3 * size)
+            comm.Alltoall(send, recv)
+            for s in range(size):
+                assert np.all(recv[3 * s : 3 * s + 3] == 10 * s + rank)
+
+        spmd(3, fn)
+
+    def test_bad_sizes(self):
+        def fn(comm):
+            with pytest.raises(CommunicatorError):
+                comm.Alltoall(np.zeros(5), np.zeros(5))  # 5 not divisible by 3
+
+        spmd(3, fn)

@@ -1,0 +1,90 @@
+"""Analytic exchange-cost model unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Box, compute_global_plan
+from repro.netmodel import COOLEY, exchange_cost, point_to_point_cost, round_payloads
+
+
+def simple_plan(nprocs=4, n=16, esize=4):
+    """1-D reversal: rank r owns block r, needs block nprocs-1-r."""
+    per = n // nprocs
+    owns = [[Box((r * per,), (per,))] for r in range(nprocs)]
+    needs = [Box(((nprocs - 1 - r) * per,), (per,)) for r in range(nprocs)]
+    return compute_global_plan(owns, needs, esize)
+
+
+class TestRoundPayloads:
+    def test_reversal_payload(self):
+        plan = simple_plan()
+        payloads = round_payloads(plan)
+        assert len(payloads) == 1
+        # Every rank ships its whole block to another rank (n=16, per=4, 4B).
+        assert payloads[0] == 4 * 4
+
+    def test_self_heavy_plan_has_small_payload(self):
+        """Identity redistribution: everything stays local, nothing on the
+        wire."""
+        owns = [[Box((r * 4,), (4,))] for r in range(4)]
+        needs = [Box((r * 4,), (4,)) for r in range(4)]
+        plan = compute_global_plan(owns, needs, 4)
+        assert round_payloads(plan) == [0]
+
+    def test_uneven_rounds(self):
+        owns = [
+            [Box((0,), (4,)), Box((8,), (4,))],
+            [Box((4,), (4,)), Box((12,), (4,))],
+        ]
+        needs = [Box((8,), (8,)), Box((0,), (8,))]
+        plan = compute_global_plan(owns, needs, 1)
+        payloads = round_payloads(plan)
+        assert len(payloads) == 2
+        assert all(p > 0 for p in payloads)
+
+
+class TestExchangeCost:
+    def test_identity_plan_costs_only_alpha_and_memcpy(self):
+        owns = [[Box((r * 4,), (4,))] for r in range(4)]
+        needs = [Box((r * 4,), (4,)) for r in range(4)]
+        plan = compute_global_plan(owns, needs, 4)
+        cost = exchange_cost(COOLEY, plan)
+        assert cost.transfer_s == 0.0
+        assert cost.alpha_s == pytest.approx(COOLEY.alpha(4))
+        assert cost.self_copy_s > 0
+
+    def test_more_data_costs_more(self):
+        small = exchange_cost(COOLEY, simple_plan(n=64))
+        large = exchange_cost(COOLEY, simple_plan(n=64_000))
+        assert large.transfer_s > small.transfer_s
+
+    def test_more_ranks_cost_more_alpha(self):
+        few = exchange_cost(COOLEY, simple_plan(nprocs=2, n=64))
+        many = exchange_cost(COOLEY, simple_plan(nprocs=8, n=64))
+        assert many.alpha_s > few.alpha_s
+
+    def test_congestion_penalises_huge_messages(self):
+        """Effective seconds/byte must grow with message size."""
+        mid = simple_plan(nprocs=2, n=2**20)
+        big = simple_plan(nprocs=2, n=2**28)
+        t_mid = exchange_cost(COOLEY, mid).transfer_s
+        t_big = exchange_cost(COOLEY, big).transfer_s
+        bytes_mid = round_payloads(mid)[0]
+        bytes_big = round_payloads(big)[0]
+        assert t_big / bytes_big > t_mid / bytes_mid
+
+
+class TestPointToPointCost:
+    def test_sparse_pattern_cheaper_than_collective(self):
+        """Reversal: each rank has exactly one partner, so the direct
+        backend avoids the O(P) alpha."""
+        plan = simple_plan(nprocs=8, n=1024)
+        assert point_to_point_cost(COOLEY, plan) < exchange_cost(COOLEY, plan).total_s
+
+    def test_identity_is_nearly_free(self):
+        owns = [[Box((r * 4,), (4,))] for r in range(4)]
+        needs = [Box((r * 4,), (4,)) for r in range(4)]
+        plan = compute_global_plan(owns, needs, 4)
+        assert point_to_point_cost(COOLEY, plan) == pytest.approx(0.0)

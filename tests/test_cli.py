@@ -1,0 +1,57 @@
+"""CLI tests (direct invocation of the entry point, no subprocess)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
+        )
+        # Smoke: parse each known command.
+        for command in ("e1", "table3", "fig3", "fig45", "sensitivity"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.fn)
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_flags(self):
+        args = build_parser().parse_args(["table2", "--network", "des"])
+        assert args.network == "des"
+        assert not args.native
+
+
+class TestExecution:
+    def test_e1(self, capsys):
+        assert main(["e1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper Table I: True" in out
+
+    def test_fig45(self, capsys):
+        assert main(["fig45"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3/2/2" in out
+
+    @pytest.mark.slow
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "4315.12" in out  # paper column present
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "read_decode_bw" in out
+
+    def test_table4_fast(self, capsys):
+        assert main(["table4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out

@@ -1,0 +1,146 @@
+"""Colormap, scalar-field rendering and PPM tests."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import (
+    BLUE_WHITE_RED,
+    COLORMAPS,
+    Colormap,
+    GRAYSCALE,
+    TOOTH,
+    assemble_tiles,
+    normalize,
+    read_ppm,
+    render_scalar_field,
+    write_ppm,
+)
+
+
+class TestColormap:
+    def test_endpoints(self):
+        assert BLUE_WHITE_RED(np.array(0.0)).tolist() == [0.0, 0.0, 1.0]
+        assert BLUE_WHITE_RED(np.array(1.0)).tolist() == [1.0, 0.0, 0.0]
+        assert BLUE_WHITE_RED(np.array(0.5)).tolist() == [1.0, 1.0, 1.0]
+
+    def test_clipping(self):
+        assert BLUE_WHITE_RED(np.array(-5.0)).tolist() == [0.0, 0.0, 1.0]
+        assert BLUE_WHITE_RED(np.array(5.0)).tolist() == [1.0, 0.0, 0.0]
+
+    def test_shape_preserved(self):
+        out = GRAYSCALE(np.zeros((4, 6)))
+        assert out.shape == (4, 6, 3)
+
+    def test_to_uint8(self):
+        rgb = GRAYSCALE.to_uint8(np.array([0.0, 0.5, 1.0]))
+        assert rgb.dtype == np.uint8
+        assert rgb[0].tolist() == [0, 0, 0]
+        assert rgb[2].tolist() == [255, 255, 255]
+        assert rgb[1].tolist() == [128, 128, 128]
+
+    def test_registry(self):
+        assert set(COLORMAPS) == {"blue_white_red", "grayscale", "tooth"}
+        assert COLORMAPS["tooth"] is TOOTH
+
+    def test_bad_control_points(self):
+        with pytest.raises(ValueError):
+            Colormap("x", ((0.2, (0, 0, 0)), (1.0, (1, 1, 1))))
+        with pytest.raises(ValueError):
+            Colormap("x", ((0.0, (0, 0, 0)),))
+
+    @given(s=st.floats(0, 1), t=st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_grayscale_monotone(self, s, t):
+        lo, hi = min(s, t), max(s, t)
+        a = GRAYSCALE(np.array(lo))
+        b = GRAYSCALE(np.array(hi))
+        assert (a <= b + 1e-12).all()
+
+
+class TestNormalize:
+    def test_minmax(self):
+        out = normalize(np.array([2.0, 4.0, 6.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_explicit_range(self):
+        out = normalize(np.array([0.0, 10.0]), vmin=0, vmax=20)
+        assert out.tolist() == [0.0, 0.5]
+
+    def test_constant_field(self):
+        assert normalize(np.full(4, 3.0)).tolist() == [0.0] * 4
+
+    def test_symmetric_zero_at_half(self):
+        out = normalize(np.array([-2.0, 0.0, 1.0]), symmetric=True)
+        assert out[1] == 0.5
+        assert out[0] == 0.0
+        assert out[2] == pytest.approx(0.75)
+
+    def test_symmetric_all_zero(self):
+        assert normalize(np.zeros(3), symmetric=True).tolist() == [0.5] * 3
+
+
+class TestRenderScalarField:
+    def test_vorticity_style(self):
+        field = np.array([[-1.0, 0.0, 1.0]])
+        img = render_scalar_field(field)
+        assert img.shape == (1, 3, 3)
+        assert img[0, 0].tolist() == [0, 0, 255]  # negative -> blue
+        assert img[0, 1].tolist() == [255, 255, 255]  # zero -> white
+        assert img[0, 2].tolist() == [255, 0, 0]  # positive -> red
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_scalar_field(np.zeros((2, 2, 2)))
+
+
+class TestAssembleTiles:
+    def test_stitch(self):
+        a = np.full((2, 3, 3), 10, dtype=np.uint8)
+        b = np.full((2, 3, 3), 20, dtype=np.uint8)
+        frame = assemble_tiles([((0, 0), a), ((2, 3), b)], (4, 6))
+        assert frame[0, 0, 0] == 10
+        assert frame[3, 5, 0] == 20
+        assert frame[0, 5, 0] == 0
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            assemble_tiles([((3, 0), np.zeros((2, 2, 3), np.uint8))], (4, 4))
+
+
+class TestPpm:
+    def test_roundtrip(self, rng):
+        image = rng.integers(0, 255, (13, 17, 3)).astype(np.uint8)
+        buf = io.BytesIO()
+        n = write_ppm(buf, image)
+        assert n == len(buf.getvalue())
+        buf.seek(0)
+        assert np.array_equal(read_ppm(buf), image)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        image = rng.integers(0, 255, (5, 5, 3)).astype(np.uint8)
+        path = tmp_path / "x.ppm"
+        write_ppm(path, image)
+        assert np.array_equal(read_ppm(path), image)
+
+    def test_comment_in_header(self, rng):
+        image = rng.integers(0, 255, (2, 2, 3)).astype(np.uint8)
+        blob = b"P6\n# a comment\n2 2\n255\n" + image.tobytes()
+        assert np.array_equal(read_ppm(io.BytesIO(blob)), image)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            write_ppm(io.BytesIO(), np.zeros((2, 2, 3), dtype=np.float32))
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError):
+            read_ppm(io.BytesIO(b"P5\n2 2\n255\n" + b"\x00" * 4))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            read_ppm(io.BytesIO(b"P6\n4 4\n255\n\x00\x00"))
