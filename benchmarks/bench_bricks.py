@@ -15,8 +15,7 @@ import pytest
 
 from repro.core import Box
 from repro.imaging import BrickedVolume, VolumeSpec, tooth_slice, write_stack
-from repro.imaging.stack import TiffStack
-from repro.io import Assignment, convert_stack_to_bricks
+from repro.io import convert_stack_to_bricks
 from repro.mpisim import run_spmd
 
 DIMS = (64, 48, 32)

@@ -1,8 +1,18 @@
 """Micro-benchmarks of the hot paths under the paper's experiments:
 box geometry, subarray pack/unpack, runtime Alltoallw, codec throughput,
-LBM step rate, and mapping reuse (the "dynamic data" property)."""
+LBM step rate, mapping reuse (the "dynamic data" property), and the
+packed-vs-zero-copy transport comparison.
+
+The transport comparison tests append their measured throughputs to
+``benchmarks/BENCH_micro.json`` so ``benchmarks/check_regression.py`` can
+diff two runs.
+"""
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -10,8 +20,40 @@ from repro.core import Box, Redistributor, intersect_many
 from repro.imaging import VolumeSpec, tooth_slice
 from repro.jpeg import decode, encode_gray
 from repro.lbm import LbmConfig, SerialLbm
-from repro.mpisim import FLOAT, SubarrayType
+from repro.mpisim import FLOAT, SubarrayType, TRANSPORT_PACKED, TRANSPORT_ZEROCOPY
 from repro.mpisim.executor import run_spmd
+
+BENCH_RECORD = Path(__file__).resolve().parent / "BENCH_micro.json"
+
+
+def _best_seconds(fn, repeats: int = 5) -> float:
+    """Best-of-N wall time; best-of is the standard noise filter for
+    memory-bound microbenches on a shared machine."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record_comparison(name: str, bytes_moved: int, packed_s: float, zerocopy_s: float) -> float:
+    """Merge one comparison into BENCH_micro.json; returns the speedup."""
+    record = {}
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+    speedup = packed_s / zerocopy_s
+    record[name] = {
+        "bytes_moved": bytes_moved,
+        "packed_seconds": packed_s,
+        "zerocopy_seconds": zerocopy_s,
+        "packed_throughput_gib_s": bytes_moved / packed_s / 2**30,
+        "zerocopy_throughput_gib_s": bytes_moved / zerocopy_s / 2**30,
+        "speedup": speedup,
+        "timestamp": time.time(),
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return speedup
 
 
 def test_intersect_many_vectorised(benchmark):
@@ -78,6 +120,95 @@ def test_mapping_setup_vs_reuse(benchmark):
         return run_spmd(4, fn)
 
     assert all(benchmark.pedantic(run, rounds=3, iterations=1))
+
+
+def _alltoallw_rounds(mode: str, n: int = 1024, rounds: int = 8) -> None:
+    """4-rank Alltoallw rounds moving the whole n x n float32 matrix per rank.
+
+    Several rounds per SPMD launch so the (transport-independent) thread
+    spawn cost does not dominate what is being compared.
+    """
+
+    def fn(comm):
+        size = comm.size
+        send = np.zeros((n, n), dtype=np.float32)
+        recv = np.zeros((n, n), dtype=np.float32)
+        rows = n // size
+        stypes = [
+            SubarrayType(FLOAT, (n, n), (rows, n), (d * rows, 0)) for d in range(size)
+        ]
+        rtypes = [
+            SubarrayType(FLOAT, (n, n), (rows, n), (s * rows, 0)) for s in range(size)
+        ]
+        for _ in range(rounds):
+            comm.Alltoallw(send, stypes, recv, rtypes, transport=mode)
+        return True
+
+    run_spmd(4, fn)
+
+
+def test_transport_alltoallw_speedup():
+    """Acceptance: the zero-copy transport must at least halve the cost of
+    a runtime Alltoallw round against the packed baseline."""
+    n, rounds = 2048, 4
+    for mode in (TRANSPORT_ZEROCOPY, TRANSPORT_PACKED):
+        _alltoallw_rounds(mode, n, rounds)  # warm-up: thread pool, allocator
+    packed = _best_seconds(lambda: _alltoallw_rounds(TRANSPORT_PACKED, n, rounds))
+    zerocopy = _best_seconds(lambda: _alltoallw_rounds(TRANSPORT_ZEROCOPY, n, rounds))
+    bytes_moved = rounds * 4 * n * n * 4  # every rank's full matrix, each round
+    speedup = _record_comparison(
+        "alltoallw_rounds_4x4x16MiB", bytes_moved, packed, zerocopy
+    )
+    assert speedup >= 2.0, f"zero-copy speedup {speedup:.2f}x < 2x"
+
+
+def test_transport_subarray_transfer_speedup():
+    """Acceptance: moving a strided subarray block between two buffers via
+    ``copy_into`` must be at least 2x the pack->unpack staging path."""
+    full = (2048, 2048)
+    sub = (1024, 1024)
+    datatype = SubarrayType(FLOAT, full, sub, (512, 512))
+    src = np.zeros(full, dtype=np.float32)
+    dst = np.zeros(full, dtype=np.float32)
+    datatype.copy_into(src, dst)  # warm-up
+    packed = _best_seconds(lambda: datatype.unpack(dst, datatype.pack(src)))
+    zerocopy = _best_seconds(lambda: datatype.copy_into(src, dst))
+    bytes_moved = int(np.prod(sub)) * 4
+    speedup = _record_comparison(
+        "subarray_transfer_4MiB", bytes_moved, packed, zerocopy
+    )
+    assert speedup >= 2.0, f"zero-copy speedup {speedup:.2f}x < 2x"
+
+
+def test_transport_redistributor_speedup():
+    """End-to-end: a warmed Redistributor loop (the per-frame call) under
+    both transports."""
+
+    def loop(mode):
+        def fn(comm):
+            rank, size = comm.rank, comm.size
+            n = 1024
+            rows = n // size
+            red = Redistributor(comm, ndims=2, dtype=np.float32, transport=mode)
+            red.setup(
+                own=[Box((0, rank * rows), (n, rows))],
+                need=Box((0, (size - 1 - rank) * rows), (n, rows)),
+            )
+            out = np.empty((rows, n), dtype=np.float32)
+            data = np.zeros((rows, n), dtype=np.float32)
+            for _ in range(8):
+                red.exchange([data], out)
+            return True
+
+        run_spmd(4, fn)
+
+    loop(TRANSPORT_ZEROCOPY)  # warm-up
+    packed = _best_seconds(lambda: loop(TRANSPORT_PACKED), repeats=3)
+    zerocopy = _best_seconds(lambda: loop(TRANSPORT_ZEROCOPY), repeats=3)
+    bytes_moved = 8 * 4 * 1024 * 256 * 4
+    _record_comparison("redistributor_loop_8x1MiB", bytes_moved, packed, zerocopy)
+    # No hard multiplier here: the loop includes fixed mapping overhead.
+    assert zerocopy < packed
 
 
 def test_tiff_decode_rate(benchmark):

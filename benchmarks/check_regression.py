@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare two BENCH_micro.json records and fail on throughput regressions.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json [CURRENT.json]
+
+``CURRENT`` defaults to ``benchmarks/BENCH_micro.json`` (the file the
+transport benchmarks in ``bench_micro.py`` write).  A benchmark regresses
+when its zero-copy throughput drops more than ``--tolerance`` (default 20%)
+below the baseline; benchmarks present in only one record are reported but
+do not fail the check.  Exit status: 0 = no regression, 1 = regression,
+2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_CURRENT = Path(__file__).resolve().parent / "BENCH_micro.json"
+WATCHED_FIELD = "zerocopy_throughput_gib_s"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: record {path} does not exist (run bench_micro.py first)", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="previous BENCH_micro.json")
+    parser.add_argument(
+        "current", type=Path, nargs="?", default=DEFAULT_CURRENT,
+        help=f"new BENCH_micro.json (default: {DEFAULT_CURRENT})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional throughput drop (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  {name}: only in baseline (skipped)")
+            continue
+        if name not in baseline:
+            print(f"  {name}: new benchmark (no baseline)")
+            continue
+        old = float(baseline[name][WATCHED_FIELD])
+        new = float(current[name][WATCHED_FIELD])
+        change = (new - old) / old if old else 0.0
+        status = "ok"
+        if change < -args.tolerance:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: {old:.2f} -> {new:.2f} GiB/s ({change:+.1%}) {status}")
+
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark(s) regressed more than "
+            f"{args.tolerance:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print("no throughput regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from ..intransit.pipeline import PipelineConfig, PipelineResult, run_pipeline
 from ..lbm.simulation import LbmConfig
 from ..mpisim.executor import run_spmd
 from .paperdata import LBM_RUN, TABLE4_OUTPUT
-from .report import format_table, pct, relative_error
+from .report import format_table
 
 #: Default reduced-scale run: 1/10 the paper's smallest grid per axis,
 #: same barrier geometry, long enough for the wake to develop.
@@ -170,7 +170,9 @@ def table4_rows(
     return rows
 
 
-def measure_two_scales(quality: int = 75) -> tuple[MeasuredCompression, MeasuredCompression, ScalingFit]:
+def measure_two_scales(
+    quality: int = 75,
+) -> tuple[MeasuredCompression, MeasuredCompression, ScalingFit]:
     """Run the pipeline at two scales and fit the extrapolation model."""
     small = measure_compression(nx=162, ny=65, m=4, n=2, steps=1500, output_every=150,
                                 quality=quality)

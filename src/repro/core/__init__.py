@@ -16,6 +16,7 @@ from .descriptor import (
     DataLayout,
 )
 from .mapping import LocalMapping, plan_from_declarations, setup_data_mapping
+from .packing import BufferCache, check_buffers, check_buffers_cached
 from .p2p import message_count_p2p, reorganize_data_p2p
 from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry, compute_global_plan
 from .reorganize import reorganize_data, reorganize_rounds
@@ -30,6 +31,7 @@ from .validate import MappingValidationError, check_send_coverage, infer_domain
 
 __all__ = [
     "Box",
+    "BufferCache",
     "DATA_TYPE_1D",
     "DATA_TYPE_2D",
     "DATA_TYPE_3D",
@@ -48,6 +50,8 @@ __all__ = [
     "SendEntry",
     "attach_loaded_plan",
     "boxes_from_flat",
+    "check_buffers",
+    "check_buffers_cached",
     "check_send_coverage",
     "compute_global_plan",
     "infer_domain",

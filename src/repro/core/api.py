@@ -20,13 +20,13 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..mpisim.comm import Communicator
+from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
 from ..mpisim.datatypes import NamedType
+from ..utils.arrays import StagingPool
 from .box import Box, boxes_from_flat
 from .descriptor import DataDescriptor, DataLayout
 from .mapping import LocalMapping, setup_data_mapping
 from .p2p import reorganize_data_p2p
-from .plan import GlobalPlan
 from .reorganize import reorganize_data
 
 
@@ -105,7 +105,14 @@ class Redistributor:
     >>> red.exchange([row0, row1], quadrant)
 
     ``exchange`` may be called every time step on fresh data — the mapping
-    is computed once (the paper's "dynamic data" property).
+    is computed once (the paper's "dynamic data" property).  Repeat calls
+    with the same buffers also skip revalidation and staging allocations
+    (see :class:`~repro.core.packing.BufferCache`).
+
+    ``transport`` picks the mpisim wire strategy for every exchange this
+    instance performs: ``"zerocopy"`` (receiver copies straight out of the
+    sender's live buffer), ``"packed"`` (classic pack -> payload -> unpack),
+    or ``None`` to follow the communicator/process default.
     """
 
     def __init__(
@@ -115,17 +122,27 @@ class Redistributor:
         dtype: np.dtype | type | str,
         backend: str = "alltoallw",
         components: int = 1,
+        transport: Optional[str] = None,
     ) -> None:
         self.comm = comm
         self.descriptor = DataDescriptor.create(
             comm.size, DataLayout(ndims), dtype, components=components
         )
         self.set_backend(backend)
+        self.set_transport(transport)
+        self._pool = StagingPool()
 
     def set_backend(self, backend: str) -> None:
         if backend not in ("alltoallw", "p2p"):
             raise ValueError(f"unknown backend {backend!r} (use 'alltoallw' or 'p2p')")
         self.backend = backend
+
+    def set_transport(self, transport: Optional[str]) -> None:
+        if transport not in (None, TRANSPORT_ZEROCOPY, TRANSPORT_PACKED):
+            raise ValueError(
+                f"unknown transport {transport!r} (use 'zerocopy', 'packed', or None)"
+            )
+        self.transport = transport
 
     def setup(
         self,
@@ -154,16 +171,28 @@ class Redistributor:
     ) -> None:
         """Redistribute one generation of data through the prepared mapping."""
         if self.backend == "p2p":
-            reorganize_data_p2p(self.comm, self.descriptor, own_buffers, need_buffer)
+            reorganize_data_p2p(
+                self.comm, self.descriptor, own_buffers, need_buffer,
+                transport=self.transport,
+            )
         else:
-            reorganize_data(self.comm, self.descriptor, own_buffers, need_buffer)
+            reorganize_data(
+                self.comm, self.descriptor, own_buffers, need_buffer,
+                transport=self.transport,
+            )
 
     def gather_need(
         self,
         own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
         fill: float | int = 0,
+        reuse_out: bool = False,
     ) -> Optional[np.ndarray]:
-        """Convenience: allocate the need buffer, exchange, and return it."""
+        """Convenience: allocate the need buffer, exchange, and return it.
+
+        With ``reuse_out=True`` the same output array is returned on every
+        call (refilled and re-exchanged), so a per-time-step loop allocates
+        nothing; the caller must be done with the previous generation.
+        """
         need = self.mapping.need
         if need is None or need.is_empty():
             self.exchange(own_buffers, None)
@@ -171,6 +200,9 @@ class Redistributor:
         shape = need.np_shape()
         if self.descriptor.components > 1:
             shape = shape + (self.descriptor.components,)
-        out = np.full(shape, fill, dtype=self.descriptor.dtype)
+        if reuse_out:
+            out = self._pool.take_filled(shape, self.descriptor.dtype, fill)
+        else:
+            out = np.full(shape, fill, dtype=self.descriptor.dtype)
         self.exchange(own_buffers, out)
         return out

@@ -172,7 +172,8 @@ def boxes_from_flat(
         )
     if len(offsets_list) != expected:
         raise ValueError(
-            f"offsets array has {len(offsets_list)} values, expected {nchunks} chunks x {ndims} dims"
+            f"offsets array has {len(offsets_list)} values, "
+            f"expected {nchunks} chunks x {ndims} dims"
         )
     boxes = []
     for c in range(nchunks):

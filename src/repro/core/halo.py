@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..mpisim.comm import Communicator
+from ..utils.arrays import StagingPool
 from .api import Redistributor
 from .box import Box
 
@@ -48,11 +49,25 @@ class GhostExchanger:
 
     The mapping is computed once (collectively); ``exchange`` may be called
     every time step — DDR's dynamic-data property.
+
+    With ``reuse_buffer=True`` every ``exchange`` returns the *same* padded
+    array (refilled), so a steady-state time loop allocates nothing; use it
+    only when the previous generation's padded block is no longer needed.
+    ``transport`` is forwarded to the underlying :class:`Redistributor`.
     """
 
-    def __init__(self, comm: Communicator, ndims: int, dtype) -> None:
+    def __init__(
+        self,
+        comm: Communicator,
+        ndims: int,
+        dtype,
+        transport: Optional[str] = None,
+        reuse_buffer: bool = False,
+    ) -> None:
         self.comm = comm
-        self._red = Redistributor(comm, ndims=ndims, dtype=dtype)
+        self._red = Redistributor(comm, ndims=ndims, dtype=dtype, transport=transport)
+        self.reuse_buffer = reuse_buffer
+        self._pool = StagingPool()
         self.own: Optional[Box] = None
         self.padded: Optional[Box] = None
 
@@ -77,7 +92,11 @@ class GhostExchanger:
             raise ValueError(
                 f"interior shape {interior.shape} != owned box shape {self.own.np_shape()}"
             )
-        out = np.full(self.padded.np_shape(), fill, dtype=self._red.descriptor.dtype)
+        dtype = self._red.descriptor.dtype
+        if self.reuse_buffer:
+            out = self._pool.take_filled(self.padded.np_shape(), dtype, fill)
+        else:
+            out = np.full(self.padded.np_shape(), fill, dtype=dtype)
         self._red.exchange([np.ascontiguousarray(interior)], out)
         return out
 

@@ -9,13 +9,13 @@ each keeps its own :class:`LocalMapping` (plan slice + prebuilt datatypes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..mpisim.comm import Communicator
 from .box import Box
 from .descriptor import DataDescriptor
-from .packing import RoundTypes, build_round_types
+from .packing import BufferCache, RoundTypes, build_round_types
 from .plan import GlobalPlan, RankPlan, compute_global_plan
 from .validate import (
     check_receives_within_domain,
@@ -34,6 +34,9 @@ class LocalMapping:
     plan: RankPlan
     rounds: list[RoundTypes]
     domain: Optional[Box]
+    # Last validated buffer set; lets repeated reorganize calls on the same
+    # arrays skip per-call geometry checks (and every new allocation).
+    buffer_cache: BufferCache = field(default_factory=BufferCache)
 
     @property
     def own_chunks(self) -> list[Box]:

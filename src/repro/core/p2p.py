@@ -17,10 +17,11 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..mpisim.comm import Communicator
+from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.request import Request, wait_all
 from .descriptor import DataDescriptor
 from .mapping import LocalMapping
-from .packing import check_buffers
+from .packing import check_buffers_cached
 from .reorganize import _normalise_own
 
 
@@ -29,13 +30,17 @@ def reorganize_data_p2p(
     descriptor: DataDescriptor,
     data_own: Union[np.ndarray, Sequence[np.ndarray], None],
     data_need: Optional[np.ndarray],
+    transport: Optional[str] = None,
 ) -> None:
     """Drop-in replacement for :func:`repro.core.reorganize.reorganize_data`.
 
-    Per round: post one eager ``Isend`` per send entry (tag = round index),
-    then receive exactly the expected messages.  Each (source, round) pair
+    Per round: post one ``Isend`` per send entry (tag = round index), then
+    receive exactly the expected messages.  Each (source, round) pair
     carries at most one message because a source has at most one chunk per
-    round, so tags disambiguate fully.
+    round, so tags disambiguate fully.  On the zero-copy transport the
+    sends are rendezvous (the receiver copies straight out of ``sendbuf``),
+    so the posted requests are waited at the end of the round; packed sends
+    complete eagerly.
     """
     mapping = descriptor.plan
     if not isinstance(mapping, LocalMapping):
@@ -43,9 +48,15 @@ def reorganize_data_p2p(
             "DDR_SetupDataMapping must be called before DDR_ReorganizeData"
         )
     own = _normalise_own(data_own)
-    own, need = check_buffers(
-        mapping.plan, descriptor.dtype, own, data_need, descriptor.components
+    own, need = check_buffers_cached(
+        mapping.plan,
+        descriptor.dtype,
+        own,
+        data_need,
+        descriptor.components,
+        mapping.buffer_cache,
     )
+    zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
 
     for round_types in mapping.rounds:
         round_index = round_types.round
@@ -58,19 +69,32 @@ def reorganize_data_p2p(
         self_recv = round_types.recvtypes[comm.rank]
         if self_send is not None and self_send.size_elements() > 0:
             assert sendbuf is not None and need is not None and self_recv is not None
-            self_recv.unpack(need, self_send.pack(sendbuf))
+            if zero_copy and not np.may_share_memory(sendbuf, need):
+                self_send.copy_into(sendbuf, need, self_recv)
+            else:
+                self_recv.unpack(need, self_send.pack(sendbuf))
 
+        requests: list[Request] = []
         for dest, datatype in enumerate(round_types.sendtypes):
             if dest == comm.rank or datatype is None or datatype.size_elements() == 0:
                 continue
             assert sendbuf is not None
-            comm.Isend(sendbuf, dest, tag=round_index, datatype=datatype)
+            requests.append(
+                comm.Isend(
+                    sendbuf, dest, tag=round_index, datatype=datatype,
+                    rendezvous=zero_copy,
+                )
+            )
 
         for source, datatype in enumerate(round_types.recvtypes):
             if source == comm.rank or datatype is None or datatype.size_elements() == 0:
                 continue
             assert need is not None
             comm.Recv(need, source, tag=round_index, datatype=datatype)
+
+        # Rendezvous sends hold the buffer live until the peer has copied;
+        # the round boundary is where that guarantee must be settled.
+        wait_all(requests)
 
 
 def message_count_p2p(descriptor: DataDescriptor) -> int:

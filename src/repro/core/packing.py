@@ -82,6 +82,87 @@ def build_round_types(
     return rounds
 
 
+class BufferCache:
+    """Remembers the last buffer set :func:`check_buffers` accepted for a plan.
+
+    The paper's repeated-call pattern (``DDR_ReorganizeData`` once per
+    simulation frame, same buffers every time) revalidates identical
+    geometry on every call.  The cache keys each buffer by
+    ``(id, dtype, shape, strides)`` and holds strong references to the
+    validated arrays, so a matching signature proves the same live objects
+    with unchanged geometry — ``id`` alone would be unsafe because CPython
+    recycles addresses of freed objects.  Only ndarray inputs are cacheable;
+    anything else (lists, scalars) falls through to a full revalidation.
+    """
+
+    __slots__ = ("_signature", "_own", "_need")
+
+    def __init__(self) -> None:
+        self._signature: Optional[tuple] = None
+        self._own: list[np.ndarray] = []
+        self._need: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _buffer_key(buf) -> Optional[tuple]:
+        if not isinstance(buf, np.ndarray):
+            return None
+        return (id(buf), buf.dtype, buf.shape, buf.strides)
+
+    def signature(self, data_own, data_need) -> Optional[tuple]:
+        """Cache key for a buffer set, or ``None`` when not cacheable."""
+        keys: list[tuple] = []
+        for buf in data_own:
+            key = self._buffer_key(buf)
+            if key is None:
+                return None
+            keys.append(key)
+        if data_need is None:
+            keys.append(("no-need",))
+        else:
+            key = self._buffer_key(data_need)
+            if key is None:
+                return None
+            keys.append(("need",) + key)
+        return tuple(keys)
+
+    def lookup(
+        self, signature: Optional[tuple]
+    ) -> Optional[tuple[list[np.ndarray], Optional[np.ndarray]]]:
+        if signature is None or signature != self._signature:
+            return None
+        return self._own, self._need
+
+    def store(
+        self,
+        signature: Optional[tuple],
+        own: list[np.ndarray],
+        need: Optional[np.ndarray],
+    ) -> None:
+        if signature is None:
+            return
+        self._signature = signature
+        self._own = own
+        self._need = need
+
+
+def check_buffers_cached(
+    plan: RankPlan,
+    dtype: np.dtype,
+    data_own: list[np.ndarray],
+    data_need: Optional[np.ndarray],
+    components: int,
+    cache: BufferCache,
+) -> tuple[list[np.ndarray], Optional[np.ndarray]]:
+    """:func:`check_buffers`, skipping revalidation on a cache hit."""
+    signature = cache.signature(data_own, data_need)
+    cached = cache.lookup(signature)
+    if cached is not None:
+        return cached
+    own, need = check_buffers(plan, dtype, data_own, data_need, components)
+    cache.store(signature, own, need)
+    return own, need
+
+
 def check_buffers(
     plan: RankPlan,
     dtype: np.dtype,

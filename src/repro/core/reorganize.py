@@ -15,7 +15,7 @@ import numpy as np
 from ..mpisim.comm import Communicator
 from .descriptor import DataDescriptor
 from .mapping import LocalMapping
-from .packing import check_buffers
+from .packing import check_buffers_cached
 
 
 def _normalise_own(data_own: Union[np.ndarray, Sequence[np.ndarray], None]) -> list[np.ndarray]:
@@ -31,6 +31,7 @@ def reorganize_data(
     descriptor: DataDescriptor,
     data_own: Union[np.ndarray, Sequence[np.ndarray], None],
     data_need: Optional[np.ndarray],
+    transport: Optional[str] = None,
 ) -> None:
     """Redistribute: fill ``data_need`` from everyone's ``data_own`` buffers.
 
@@ -38,6 +39,12 @@ def reorganize_data(
     for the common one-chunk case); ``data_need`` is the single buffer for
     this rank's needed box.  Buffers may be flat or chunk-shaped but must be
     C-contiguous and exactly sized.
+
+    Repeat calls with the same arrays skip buffer revalidation (the mapping
+    caches the accepted set) and — on the default zero-copy transport —
+    allocate no staging arrays at all.  ``transport`` forces ``"packed"``
+    or ``"zerocopy"`` for this call; ``None`` uses the communicator/process
+    default.
     """
     mapping = descriptor.plan
     if not isinstance(mapping, LocalMapping):
@@ -51,15 +58,26 @@ def reorganize_data(
         )
 
     own = _normalise_own(data_own)
-    own, need = check_buffers(
-        mapping.plan, descriptor.dtype, own, data_need, descriptor.components
+    own, need = check_buffers_cached(
+        mapping.plan,
+        descriptor.dtype,
+        own,
+        data_need,
+        descriptor.components,
+        mapping.buffer_cache,
     )
 
     for round_types in mapping.rounds:
         sendbuf: Optional[np.ndarray] = None
         if round_types.chunk_index is not None:
             sendbuf = own[round_types.chunk_index]
-        comm.Alltoallw(sendbuf, round_types.sendtypes, need, round_types.recvtypes)
+        comm.Alltoallw(
+            sendbuf,
+            round_types.sendtypes,
+            need,
+            round_types.recvtypes,
+            transport=transport,
+        )
 
 
 def reorganize_rounds(descriptor: DataDescriptor) -> int:

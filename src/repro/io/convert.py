@@ -10,8 +10,6 @@ own bricks (disjoint fixed offsets, safe concurrently).
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import numpy as np
 
 from ..core.api import Redistributor

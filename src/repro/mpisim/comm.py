@@ -1,12 +1,26 @@
-"""An in-process MPI runtime: ranks are threads, messages are NumPy copies.
+"""An in-process MPI runtime: ranks are threads, messages are NumPy copies
+— or, on the zero-copy transport, direct shared-memory copies.
 
 Why this exists: the paper's DDR library drives ``MPI_Alltoallw`` with
 subarray datatypes across a real cluster.  This environment has no MPI, so
 we execute the *identical algorithm* on a thread-backed SPMD runtime with
 matched-queue point-to-point semantics and the collectives DDR and the two
-use cases need.  Message payloads are copied at send time (eager/buffered
-semantics), so the usual MPI correctness discipline — no buffer reuse races,
-ordered matching per (source, tag) — is preserved and testable.
+use cases need.  By default, message payloads are copied at send time
+(eager/buffered semantics), so the usual MPI correctness discipline — no
+buffer reuse races, ordered matching per (source, tag) — is preserved and
+testable.
+
+Because every rank is a thread of one process, the operations DDR's hot
+path uses (``Alltoallw``, ``Sendrecv``, rendezvous ``Isend``) also support
+a *zero-copy transport*: the sender posts a live reference to its buffer
+and the receiver copies straight from the sender's datatype view into its
+own — one ``np.copyto`` per lane instead of pack + payload + unpack.  A
+per-message completion event keeps the sender inside the operation until
+every receiver has drained its lane, so the sender's buffer is provably
+stable for the duration of the exchange.  Select transports globally with
+:func:`set_transport` / the ``DDR_TRANSPORT`` environment variable, or per
+scope with the :func:`transport` context manager; the packed path remains
+fully supported for debugging and as the benchmark baseline.
 
 Timing of the paper's *experiments* is handled separately by
 ``repro.netmodel``; this module is about moving real bytes correctly.
@@ -15,14 +29,17 @@ Timing of the paper's *experiments* is handled separately by
 from __future__ import annotations
 
 import copy as _copy
+import os
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from ..utils.timing import TRANSFER_COUNTERS
 from .datatypes import Datatype, named_type_for
 from .errors import AbortError, CommunicatorError, TimeoutError_, TruncationError
 from .request import CompletedRequest, DeferredRequest, Request, Status
@@ -33,6 +50,86 @@ ANY_TAG = -1
 #: Default seconds a blocking call may wait before declaring deadlock.  Long
 #: enough for slow CI machines, short enough that a hung test fails visibly.
 DEFAULT_DEADLOCK_TIMEOUT = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Transport selection
+# ---------------------------------------------------------------------------
+
+#: Rendezvous shared-memory transport: one direct copy per lane.
+TRANSPORT_ZEROCOPY = "zerocopy"
+#: Eager staged transport: pack -> mailbox payload -> unpack.
+TRANSPORT_PACKED = "packed"
+
+_VALID_TRANSPORTS = (TRANSPORT_ZEROCOPY, TRANSPORT_PACKED)
+
+
+def _validated_transport(mode: str) -> str:
+    mode = mode.strip().lower()
+    if mode not in _VALID_TRANSPORTS:
+        raise CommunicatorError(
+            f"unknown transport {mode!r} (use one of {_VALID_TRANSPORTS})"
+        )
+    return mode
+
+
+_default_transport = _validated_transport(
+    os.environ.get("DDR_TRANSPORT", TRANSPORT_ZEROCOPY)
+)
+
+
+def set_transport(mode: str) -> None:
+    """Set the process-wide default transport (``zerocopy`` or ``packed``)."""
+    global _default_transport
+    _default_transport = _validated_transport(mode)
+
+
+def get_transport() -> str:
+    return _default_transport
+
+
+@contextmanager
+def transport(mode: str) -> Iterator[None]:
+    """Run a block under the given default transport (e.g. to force the
+    packed baseline for debugging or benchmarking)."""
+    previous = get_transport()
+    set_transport(mode)
+    try:
+        yield
+    finally:
+        set_transport(previous)
+
+
+class _ZeroCopyHandle:
+    """Rendezvous payload: a live reference to the sender's buffer.
+
+    The receiver copies straight out of ``buffer`` (through ``datatype``'s
+    selection when given) and then sets ``done``; the sender stays inside
+    the posting operation until ``done`` is set, so the buffer cannot be
+    reused or freed while a receiver still reads it.  ``error`` records a
+    receiver-side failure for diagnostics; the sender still completes, as
+    a real MPI sender would for a receiver-local truncation error.
+    """
+
+    __slots__ = ("buffer", "datatype", "done", "error")
+
+    def __init__(self, buffer: np.ndarray, datatype: Optional[Datatype]) -> None:
+        self.buffer = buffer
+        self.datatype = datatype
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def size_elements(self) -> int:
+        if self.datatype is not None:
+            return self.datatype.size_elements()
+        return int(self.buffer.size)
+
+    def itemsize(self) -> int:
+        return int(self.buffer.dtype.itemsize)
+
+    def complete(self, error: Optional[BaseException] = None) -> None:
+        self.error = error
+        self.done.set()
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +270,9 @@ def _payload_from(buf: np.ndarray, datatype: Optional[Datatype]) -> np.ndarray:
         return datatype.pack(np.ascontiguousarray(arr))
     if not arr.flags["C_CONTIGUOUS"]:
         arr = np.ascontiguousarray(arr)
+    if TRANSFER_COUNTERS.enabled:
+        TRANSFER_COUNTERS.count_alloc(arr.nbytes)
+        TRANSFER_COUNTERS.count_copy("payload", arr.nbytes)
     return arr.reshape(-1).copy()
 
 
@@ -190,7 +290,71 @@ def _payload_into(buf: np.ndarray, datatype: Optional[Datatype], payload: np.nda
             f"message of {payload.size} elements truncated: receive buffer holds {flat.size}"
         )
     flat[: payload.size] = payload.astype(flat.dtype, copy=False)
+    if TRANSFER_COUNTERS.enabled:
+        TRANSFER_COUNTERS.count_copy("unpack", payload.size * payload.dtype.itemsize)
     return payload.size * payload.dtype.itemsize
+
+
+def _receive_rendezvous(
+    buf: np.ndarray, datatype: Optional[Datatype], handle: _ZeroCopyHandle
+) -> int:
+    """Drain a zero-copy lane: copy from the sender's buffer into ``buf``.
+
+    Always completes the handle — on success *and* on failure — so the
+    blocked sender is released either way (receiver-local errors stay
+    receiver-local, as in MPI).
+    """
+    try:
+        nbytes = _rendezvous_copy(buf, datatype, handle)
+    except BaseException as exc:
+        handle.complete(exc)
+        raise
+    handle.complete()
+    return nbytes
+
+
+def _rendezvous_copy(
+    buf: np.ndarray, datatype: Optional[Datatype], handle: _ZeroCopyHandle
+) -> int:
+    count = handle.size_elements()
+    if datatype is not None:
+        if datatype.size_elements() != count:
+            raise TruncationError(
+                f"message of {count} elements does not match receive type "
+                f"selecting {datatype.size_elements()}"
+            )
+        src_type = handle.datatype
+        if src_type is None:
+            src_type = named_type_for(handle.buffer.dtype).Create_contiguous(count)
+        return src_type.copy_into(handle.buffer, buf, datatype)
+    arr = np.asarray(buf)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise CommunicatorError("Recv into a non-contiguous buffer requires a datatype")
+    flat = arr.reshape(-1)
+    if count > flat.size:
+        raise TruncationError(
+            f"message of {count} elements truncated: receive buffer holds {flat.size}"
+        )
+    if handle.datatype is not None:
+        src_view = handle.datatype.view(handle.buffer)
+        if src_view is None:
+            flat[:count] = handle.datatype.pack(handle.buffer)
+            if TRANSFER_COUNTERS.enabled:
+                TRANSFER_COUNTERS.count_copy("payload", count * handle.itemsize())
+            return count * handle.itemsize()
+    else:
+        src_view = handle.buffer.reshape(-1)
+    np.copyto(flat[:count].reshape(src_view.shape), src_view, casting="unsafe")
+    if TRANSFER_COUNTERS.enabled:
+        TRANSFER_COUNTERS.count_copy("direct", count * handle.itemsize())
+    return count * handle.itemsize()
+
+
+def _receive_payload(buf: np.ndarray, datatype: Optional[Datatype], message: "_Message") -> int:
+    """Unified typed receive: handles both staged payloads and rendezvous."""
+    if isinstance(message.payload, _ZeroCopyHandle):
+        return _receive_rendezvous(buf, datatype, message.payload)
+    return _payload_into(buf, datatype, message.payload)
 
 
 class Communicator:
@@ -213,6 +377,17 @@ class Communicator:
         self._world_ranks = tuple(world_ranks)
         self._rank = rank
         self._coll_seq = 0
+        #: Per-endpoint transport override; ``None`` follows the process-wide
+        #: default.  Endpoints are per-rank objects, so this is thread-safe.
+        self.transport: Optional[str] = None
+
+    def resolve_transport(self, override: Optional[str] = None) -> str:
+        """Effective transport: ``override`` > ``self.transport`` > process default."""
+        if override is not None:
+            return _validated_transport(override)
+        if self.transport is not None:
+            return _validated_transport(self.transport)
+        return _default_transport
 
     # -- introspection ------------------------------------------------------
 
@@ -258,9 +433,27 @@ class Communicator:
         dest: int,
         tag: int = 0,
         datatype: Optional[Datatype] = None,
+        rendezvous: bool = False,
     ) -> Request:
-        # Eager buffered semantics: the payload is copied out immediately,
-        # so the send completes at post time.
+        """Nonblocking send.
+
+        Default is eager buffered semantics: the payload is copied out
+        immediately, so the send completes at post time and the buffer may
+        be reused right away.  With ``rendezvous=True`` (and the zero-copy
+        transport active) the receiver copies directly from ``buf``; the
+        buffer must stay untouched until the returned request completes —
+        standard MPI nonblocking discipline, now actually load-bearing.
+        """
+        if rendezvous and self.resolve_transport() == TRANSPORT_ZEROCOPY:
+            handle = self._post_rendezvous(buf, dest, tag, datatype, internal=False)
+            if handle is not None:
+                status = Status(source=self._rank, tag=tag)
+
+                def wait_fn() -> Status:
+                    self._await_handles((handle,))
+                    return status
+
+                return DeferredRequest(handle.done.is_set, wait_fn)
         self.Send(buf, dest, tag, datatype)
         return CompletedRequest(Status(source=self._rank, tag=tag))
 
@@ -273,7 +466,7 @@ class Communicator:
         status: Optional[Status] = None,
     ) -> Status:
         message = self._consume(self._match(source, tag, internal=False))
-        nbytes = _payload_into(buf, datatype, message.payload)
+        nbytes = _receive_payload(buf, datatype, message)
         result = status or Status()
         result.source, result.tag, result.count_bytes = message.source, message.tag, nbytes
         return result
@@ -303,7 +496,7 @@ class Communicator:
             message = stash.pop("msg", None)
             if message is None:
                 message = self._consume(match)
-            nbytes = _payload_into(buf, datatype, message.payload)
+            nbytes = _receive_payload(buf, datatype, message)
             return Status(source=message.source, tag=message.tag, count_bytes=nbytes)
 
         return DeferredRequest(test_fn, wait_fn)
@@ -319,6 +512,23 @@ class Communicator:
         send_datatype: Optional[Datatype] = None,
         recv_datatype: Optional[Datatype] = None,
     ) -> Status:
+        # Zero-copy rendezvous: post a live buffer reference, satisfy our
+        # receive (which drains the partner's handle and releases them),
+        # then wait for the partner to drain ours.  Both endpoints make
+        # progress before blocking, so symmetric pairs cannot deadlock.
+        # Self-exchange stays on the staged path: the user may legally pass
+        # overlapping buffers there.
+        if dest != self._rank and self.resolve_transport() == TRANSPORT_ZEROCOPY:
+            self._check_rank(dest, "dest")
+            if sendtag < 0:
+                raise CommunicatorError(f"user tags must be >= 0, got {sendtag}")
+            handle = self._post_rendezvous(
+                sendbuf, dest, sendtag, send_datatype, internal=False
+            )
+            if handle is not None:
+                result = self.Recv(recvbuf, source, recvtag, recv_datatype)
+                self._await_handles((handle,))
+                return result
         self.Send(sendbuf, dest, sendtag, send_datatype)
         return self.Recv(recvbuf, source, recvtag, recv_datatype)
 
@@ -342,7 +552,21 @@ class Communicator:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         message = self._consume(self._match(source, tag, internal=False))
-        return message.payload
+        payload = message.payload
+        if isinstance(payload, _ZeroCopyHandle):
+            # A rendezvous (uppercase) send drained by the object API:
+            # materialise a private copy and release the sender.
+            try:
+                if payload.datatype is not None:
+                    data = payload.datatype.pack(payload.buffer)
+                else:
+                    data = payload.buffer.copy()
+            except BaseException as exc:
+                payload.complete(exc)
+                raise
+            payload.complete()
+            return data
+        return payload
 
     # -- collectives ------------------------------------------------------------
 
@@ -375,7 +599,8 @@ class Communicator:
         if self._rank == root:
             for dest in range(self.size):
                 if dest != root:
-                    self._post(dest, _Message(self._rank, self._coll_tag(seq), True, _safe_copy(obj)))
+                    message = _Message(self._rank, self._coll_tag(seq), True, _safe_copy(obj))
+                    self._post(dest, message)
             return obj
         message = self._consume(self._match(root, self._coll_tag(seq), internal=True))
         return message.payload
@@ -636,29 +861,43 @@ class Communicator:
         sendtypes: Sequence[Optional[Datatype]],
         recvbuf: Optional[np.ndarray],
         recvtypes: Sequence[Optional[Datatype]],
+        transport: Optional[str] = None,
     ) -> None:
         """General all-to-all with a per-peer datatype (DDR's workhorse).
 
         ``sendtypes[d]`` selects, out of ``sendbuf``, the elements destined
         for rank ``d``; ``None`` (or a zero-size type) means nothing moves on
         that lane.  Symmetrically for ``recvtypes``.
+
+        On the zero-copy transport each lane is one direct copy from the
+        sender's buffer view into the receiver's; the sender stays in the
+        collective until every one of its lanes has been drained, which
+        guarantees its buffer is stable for the whole exchange.  Pass
+        ``transport="packed"`` to force the staged baseline for this call.
         """
         if len(sendtypes) != self.size or len(recvtypes) != self.size:
             raise CommunicatorError("Alltoallw requires one datatype slot per rank")
+        zero_copy = self.resolve_transport(transport) == TRANSPORT_ZEROCOPY
         seq = self._next_seq()
         tag = self._coll_tag(seq)
 
-        # Self-exchange first: straight pack/unpack, no mailbox round-trip.
+        # Self-exchange first: no mailbox round-trip.  The direct path is
+        # taken only when the two buffers cannot alias; pack/unpack remains
+        # the safe fallback for overlapping self-transfers.
         stype = sendtypes[self._rank]
         rtype = recvtypes[self._rank]
         if stype is not None and stype.size_elements() > 0:
             if rtype is None or rtype.size_elements() != stype.size_elements():
                 raise CommunicatorError("self send/recv types disagree in Alltoallw")
             assert sendbuf is not None and recvbuf is not None
-            rtype.unpack(recvbuf, stype.pack(sendbuf))
+            if zero_copy and not np.may_share_memory(sendbuf, recvbuf):
+                stype.copy_into(sendbuf, recvbuf, rtype)
+            else:
+                rtype.unpack(recvbuf, stype.pack(sendbuf))
         elif rtype is not None and rtype.size_elements() > 0:
             raise CommunicatorError("self send/recv types disagree in Alltoallw")
 
+        handles: list[_ZeroCopyHandle] = []
         for dest in range(self.size):
             if dest == self._rank:
                 continue
@@ -666,7 +905,15 @@ class Communicator:
             if datatype is None or datatype.size_elements() == 0:
                 continue
             assert sendbuf is not None
-            self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
+            if zero_copy:
+                # Validate geometry sender-side (as pack would) so errors
+                # surface on the offending rank, then post the reference.
+                datatype.view(sendbuf)
+                handle = _ZeroCopyHandle(sendbuf, datatype)
+                handles.append(handle)
+                self._post(dest, _Message(self._rank, tag, True, handle))
+            else:
+                self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
 
         for source in range(self.size):
             if source == self._rank:
@@ -676,12 +923,25 @@ class Communicator:
                 continue
             assert recvbuf is not None
             message = self._consume(self._match(source, tag, internal=True))
-            if message.payload.size != datatype.size_elements():
+            payload = message.payload
+            if isinstance(payload, _ZeroCopyHandle):
+                got = payload.size_elements()
+            else:
+                got = int(payload.size)
+            if got != datatype.size_elements():
+                if isinstance(payload, _ZeroCopyHandle):
+                    payload.complete()  # release the sender; the error is ours
                 raise TruncationError(
-                    f"Alltoallw lane {source}->{self._rank}: got {message.payload.size} "
+                    f"Alltoallw lane {source}->{self._rank}: got {got} "
                     f"elements, type expects {datatype.size_elements()}"
                 )
-            datatype.unpack(recvbuf, message.payload)
+            if isinstance(payload, _ZeroCopyHandle):
+                _receive_rendezvous(recvbuf, datatype, payload)
+            else:
+                datatype.unpack(recvbuf, payload)
+
+        if handles:
+            self._await_handles(handles)
 
     def Alltoallv(
         self,
@@ -765,6 +1025,44 @@ class Communicator:
     def _post(self, dest: int, message: _Message) -> None:
         self.fabric.check_abort()
         self.fabric.post(self.comm_id, self._world_ranks[dest], message)
+
+    def _post_rendezvous(
+        self,
+        buf: np.ndarray,
+        dest: int,
+        tag: int,
+        datatype: Optional[Datatype],
+        internal: bool,
+    ) -> Optional[_ZeroCopyHandle]:
+        """Post a zero-copy handle; returns ``None`` when ``buf`` cannot be
+        shared safely (not contiguous), letting the caller fall back to the
+        eager packed path."""
+        arr = np.asarray(buf)
+        if not arr.flags["C_CONTIGUOUS"]:
+            return None
+        if datatype is not None:
+            # Sender-side geometry/dtype validation, exactly where pack
+            # would have raised on the eager path.
+            datatype.view(arr)
+        handle = _ZeroCopyHandle(arr, datatype)
+        self._post(dest, _Message(self._rank, tag, internal, handle))
+        return handle
+
+    def _await_handles(self, handles: Sequence[_ZeroCopyHandle]) -> None:
+        """Block until every posted rendezvous lane has been drained.
+
+        Polls with short waits so a peer failure (fabric abort) or a
+        deadlock still surfaces instead of hanging forever.
+        """
+        deadline = time.monotonic() + self.fabric.deadlock_timeout
+        for handle in handles:
+            while not handle.done.wait(timeout=0.05):
+                self.fabric.check_abort()
+                if time.monotonic() > deadline:
+                    raise TimeoutError_(
+                        f"rank {self._rank} blocked > {self.fabric.deadlock_timeout}s "
+                        f"waiting for a zero-copy lane to drain; likely deadlock"
+                    )
 
     def _consume(self, match: Callable[[_Message], bool]) -> _Message:
         return self.fabric.consume(self.comm_id, self._world_ranks[self._rank], match)

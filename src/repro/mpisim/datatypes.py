@@ -8,15 +8,23 @@ elements out of a C-contiguous NumPy buffer and *unpack* them back in.
 Only the features DDR needs are implemented — named types, contiguous,
 vector, and subarray — but each follows the MPI definition closely enough
 that the tests can validate against hand-computed layouts.
+
+Beyond pack/unpack, every type supports a *zero-copy protocol*: ``view``
+exposes the selected elements as an ndarray view (no data movement) when
+the selection is expressible with basic slicing, and ``copy_into`` moves a
+selection from one buffer straight into another's selection — one
+``np.copyto`` instead of pack + unpack — falling back to staging only for
+selections that cannot be viewed (e.g. overlapping vectors).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from ..utils.timing import TRANSFER_COUNTERS
 from .errors import DatatypeError
 
 ORDER_C = "C"
@@ -37,13 +45,72 @@ class Datatype:
         """Number of payload bytes this datatype selects."""
         return self.size_elements() * self.base_dtype.itemsize
 
-    def pack(self, buffer: np.ndarray) -> np.ndarray:
-        """Gather the selected elements of ``buffer`` into a new 1-D array."""
+    def pack(self, buffer: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather the selected elements of ``buffer`` into a 1-D array.
+
+        With ``out`` (a 1-D array of at least ``size_elements()`` base
+        elements) the gather fills the leading slice of ``out`` and returns
+        that slice, so callers with a staging pool can avoid allocating.
+        """
         raise NotImplementedError
 
     def unpack(self, buffer: np.ndarray, data: np.ndarray) -> None:
         """Scatter ``data`` (1-D, base dtype) into the selected elements."""
         raise NotImplementedError
+
+    def view(self, buffer: np.ndarray) -> Optional[np.ndarray]:
+        """A no-copy ndarray view of the selection, in pack (C) order.
+
+        Returns ``None`` when the selection cannot be expressed with basic
+        slicing (callers must then stage through :meth:`pack`).  The view
+        may be strided; reading it in C order yields exactly ``pack(...)``.
+        """
+        return None
+
+    def is_contiguous(self) -> bool:
+        """True when the selection is one flat run of the buffer, so a
+        direct copy degrades to a single memcpy-style block move."""
+        return False
+
+    def copy_into(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        dst_type: Optional["Datatype"] = None,
+    ) -> int:
+        """Copy this type's selection of ``src`` directly into ``dst_type``'s
+        selection of ``dst`` (same type by default).  Returns bytes moved.
+
+        The fast path is one ``np.copyto`` between two views — no staging
+        allocation.  When either selection is not viewable, or the two
+        selections are strided *and* shaped differently, it falls back to
+        ``dst_type.unpack(dst, self.pack(src))``.
+        """
+        target = dst_type if dst_type is not None else self
+        if target.size_elements() != self.size_elements():
+            raise DatatypeError(
+                f"copy_into: source selects {self.size_elements()} elements, "
+                f"destination selects {target.size_elements()}"
+            )
+        nbytes = self.size_bytes()
+        src_view = self.view(src)
+        dst_view = target.view(dst)
+        if src_view is not None and dst_view is not None:
+            if src_view.shape == dst_view.shape:
+                np.copyto(dst_view, src_view, casting="unsafe")
+            elif src_view.flags["C_CONTIGUOUS"]:
+                # A contiguous source reshapes without copying.
+                np.copyto(dst_view, src_view.reshape(dst_view.shape), casting="unsafe")
+            elif dst_view.flags["C_CONTIGUOUS"]:
+                np.copyto(dst_view.reshape(src_view.shape), src_view, casting="unsafe")
+            else:
+                target.unpack(dst, self.pack(src))
+                return nbytes
+            if TRANSFER_COUNTERS.enabled:
+                TRANSFER_COUNTERS.count_copy("direct", nbytes)
+            return nbytes
+        target.unpack(dst, self.pack(src))
+        return nbytes
 
     # MPI API fidelity: committing is a no-op for an in-process runtime, but
     # the DDR core calls it the way the C library would.
@@ -65,6 +132,33 @@ class Datatype:
         return buffer.reshape(-1)
 
 
+def _packed(selected: np.ndarray, out: Optional[np.ndarray], dtype: np.dtype) -> np.ndarray:
+    """Materialise ``selected`` (a view in pack order) as a 1-D staging array.
+
+    Allocates unless ``out`` (1-D, matching dtype, large enough) is given,
+    in which case the leading slice of ``out`` is filled and returned.
+    """
+    count = selected.size
+    nbytes = count * dtype.itemsize
+    if out is None:
+        result = np.empty(count, dtype=dtype)
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_alloc(nbytes)
+    else:
+        if out.ndim != 1 or out.dtype != dtype or not out.flags["C_CONTIGUOUS"]:
+            raise DatatypeError(
+                f"pack out array must be 1-D contiguous of dtype {dtype}, got "
+                f"{out.ndim}-D {out.dtype}"
+            )
+        if out.size < count:
+            raise DatatypeError(f"pack out array holds {out.size} elements, need {count}")
+        result = out[:count]
+    np.copyto(result.reshape(selected.shape), selected)
+    if TRANSFER_COUNTERS.enabled:
+        TRANSFER_COUNTERS.count_copy("pack", nbytes)
+    return result
+
+
 @dataclass(frozen=True)
 class NamedType(Datatype):
     """A basic MPI type (``MPI_FLOAT`` etc.), wrapping one NumPy dtype."""
@@ -82,13 +176,21 @@ class NamedType(Datatype):
     def size_elements(self) -> int:
         return 1
 
-    def pack(self, buffer: np.ndarray) -> np.ndarray:
+    def is_contiguous(self) -> bool:
+        return True
+
+    def view(self, buffer: np.ndarray) -> np.ndarray:
+        return self._require_buffer(buffer)[:1]
+
+    def pack(self, buffer: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         flat = self._require_buffer(buffer)
-        return flat[:1].copy()
+        return _packed(flat[:1], out, self.dtype)
 
     def unpack(self, buffer: np.ndarray, data: np.ndarray) -> None:
         flat = self._require_buffer(buffer)
         flat[:1] = data
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_copy("unpack", self.dtype.itemsize)
 
     def Create_contiguous(self, count: int) -> "ContiguousType":
         return ContiguousType(self, count)
@@ -122,17 +224,25 @@ class ContiguousType(Datatype):
     def size_elements(self) -> int:
         return self.count
 
-    def pack(self, buffer: np.ndarray) -> np.ndarray:
+    def is_contiguous(self) -> bool:
+        return True
+
+    def view(self, buffer: np.ndarray) -> np.ndarray:
         flat = self._require_buffer(buffer)
         if flat.size < self.count:
             raise DatatypeError(f"buffer has {flat.size} elements, type needs {self.count}")
-        return flat[: self.count].copy()
+        return flat[: self.count]
+
+    def pack(self, buffer: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        return _packed(self.view(buffer), out, self.base_dtype)
 
     def unpack(self, buffer: np.ndarray, data: np.ndarray) -> None:
         flat = self._require_buffer(buffer)
         if flat.size < self.count:
             raise DatatypeError(f"buffer has {flat.size} elements, type needs {self.count}")
         flat[: self.count] = data
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_copy("unpack", self.size_bytes())
 
 
 class VectorType(Datatype):
@@ -146,31 +256,62 @@ class VectorType(Datatype):
         self.blocklength = int(blocklength)
         self.stride = int(stride)
         self.base_dtype = base.dtype
+        # Geometry is immutable, so the gather indices (and extent) are
+        # computed once here rather than on every pack/unpack.
+        starts = np.arange(self.count) * self.stride
+        offsets = np.arange(self.blocklength)
+        self._indices_cache = (starts[:, None] + offsets[None, :]).reshape(-1)
+        self._extent_cache = (
+            0 if self.count == 0 else (self.count - 1) * self.stride + self.blocklength
+        )
 
     def size_elements(self) -> int:
         return self.count * self.blocklength
 
+    def is_contiguous(self) -> bool:
+        return self.count <= 1 or self.blocklength == self.stride
+
     def _extent(self) -> int:
-        if self.count == 0:
-            return 0
-        return (self.count - 1) * self.stride + self.blocklength
+        return self._extent_cache
 
     def _indices(self) -> np.ndarray:
-        starts = np.arange(self.count) * self.stride
-        offsets = np.arange(self.blocklength)
-        return (starts[:, None] + offsets[None, :]).reshape(-1)
+        return self._indices_cache
 
-    def pack(self, buffer: np.ndarray) -> np.ndarray:
+    def view(self, buffer: np.ndarray) -> Optional[np.ndarray]:
         flat = self._require_buffer(buffer)
-        if flat.size < self._extent():
+        if flat.size < self._extent_cache:
             raise DatatypeError("buffer smaller than vector extent")
-        return flat[self._indices()].copy()
+        if self.count == 0 or self.blocklength == 0:
+            return flat[:0]
+        if self.is_contiguous():
+            return flat[: self.count * self.blocklength]
+        if self.blocklength < self.stride and flat.size >= self.count * self.stride:
+            rows = flat[: self.count * self.stride].reshape(self.count, self.stride)
+            return rows[:, : self.blocklength]
+        # Overlapping blocks (blocklength > stride), or a buffer that ends
+        # exactly at the extent: not expressible as a basic-slicing view.
+        return None
+
+    def pack(self, buffer: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        selected = self.view(buffer)
+        if selected is not None:
+            return _packed(selected, out, self.base_dtype)
+        flat = self._require_buffer(buffer)
+        gathered = flat[self._indices_cache]  # fancy indexing gathers into a new array
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_alloc(self.size_bytes())
+            TRANSFER_COUNTERS.count_copy("pack", self.size_bytes())
+        if out is None:
+            return gathered
+        return _packed(gathered, out, self.base_dtype)
 
     def unpack(self, buffer: np.ndarray, data: np.ndarray) -> None:
         flat = self._require_buffer(buffer)
-        if flat.size < self._extent():
+        if flat.size < self._extent_cache:
             raise DatatypeError("buffer smaller than vector extent")
-        flat[self._indices()] = data
+        flat[self._indices_cache] = data
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_copy("unpack", self.size_bytes())
 
 
 class SubarrayType(Datatype):
@@ -210,41 +351,64 @@ class SubarrayType(Datatype):
         self.subsizes = subsizes_t
         self.starts = starts_t
         self.base_dtype = base.dtype
+        # Geometry is immutable: precompute the selection slices, element
+        # counts, and whether the selection is a single contiguous run of
+        # the flat buffer (true when every axis except the slowest-varying
+        # non-trivial one is taken whole).
+        self._slices_cache = tuple(
+            slice(start, start + sub) for start, sub in zip(starts_t, subsizes_t)
+        )
+        total = 1
+        for sub in subsizes_t:
+            total *= sub
+        self._size_cache = total
+        full = 1
+        for size in sizes_t:
+            full *= size
+        self._full_cache = full
+        contiguous = True
+        for axis in range(len(sizes_t) - 1, -1, -1):
+            if subsizes_t[axis] == sizes_t[axis]:
+                continue
+            # First (fastest-varying) partial axis found; every slower axis
+            # must then select a single index for the run to stay flat.
+            contiguous = all(s == 1 for s in subsizes_t[:axis])
+            break
+        self._contiguous_cache = contiguous or total <= 1
 
     def size_elements(self) -> int:
-        total = 1
-        for sub in self.subsizes:
-            total *= sub
-        return total
+        return self._size_cache
+
+    def is_contiguous(self) -> bool:
+        return self._contiguous_cache
 
     def _slices(self) -> tuple[slice, ...]:
-        return tuple(
-            slice(start, start + sub) for start, sub in zip(self.starts, self.subsizes)
-        )
+        return self._slices_cache
 
     def _full_elements(self) -> int:
-        total = 1
-        for size in self.sizes:
-            total *= size
-        return total
+        return self._full_cache
 
-    def pack(self, buffer: np.ndarray) -> np.ndarray:
+    def _grid(self, buffer: np.ndarray) -> np.ndarray:
         flat = self._require_buffer(buffer)
-        if flat.size < self._full_elements():
+        if flat.size < self._full_cache:
             raise DatatypeError(
-                f"buffer has {flat.size} elements, subarray full size is {self._full_elements()}"
+                f"buffer has {flat.size} elements, subarray full size is {self._full_cache}"
             )
-        grid = flat[: self._full_elements()].reshape(self.sizes)
-        return grid[self._slices()].reshape(-1).copy()
+        return flat[: self._full_cache].reshape(self.sizes)
+
+    def view(self, buffer: np.ndarray) -> np.ndarray:
+        return self._grid(buffer)[self._slices_cache]
+
+    def pack(self, buffer: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        return _packed(self._grid(buffer)[self._slices_cache], out, self.base_dtype)
 
     def unpack(self, buffer: np.ndarray, data: np.ndarray) -> None:
-        flat = self._require_buffer(buffer)
-        if flat.size < self._full_elements():
-            raise DatatypeError(
-                f"buffer has {flat.size} elements, subarray full size is {self._full_elements()}"
-            )
-        grid = flat[: self._full_elements()].reshape(self.sizes)
-        grid[self._slices()] = np.asarray(data, dtype=self.base_dtype).reshape(self.subsizes)
+        grid = self._grid(buffer)
+        grid[self._slices_cache] = np.asarray(data, dtype=self.base_dtype).reshape(
+            self.subsizes
+        )
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_copy("unpack", self.size_bytes())
 
 
 # ---------------------------------------------------------------------------
@@ -264,7 +428,8 @@ FLOAT = NamedType(np.float32, "MPI_FLOAT")
 DOUBLE = NamedType(np.float64, "MPI_DOUBLE")
 
 _BY_DTYPE: dict[np.dtype, NamedType] = {}
-for _named in (BYTE, CHAR, SHORT, INT, LONG, UNSIGNED_SHORT, UNSIGNED, UNSIGNED_LONG, FLOAT, DOUBLE):
+for _named in (BYTE, CHAR, SHORT, INT, LONG, UNSIGNED_SHORT, UNSIGNED, UNSIGNED_LONG,
+               FLOAT, DOUBLE):
     _BY_DTYPE.setdefault(_named.dtype, _named)
 
 

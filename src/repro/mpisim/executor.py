@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable
 
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
 from .errors import AbortError

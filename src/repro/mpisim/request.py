@@ -9,7 +9,7 @@ matching message is consumed from the mailbox.  ``wait``/``test`` mirror
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
 @dataclass

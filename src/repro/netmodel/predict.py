@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.plan import GlobalPlan, compute_global_plan
 from ..io.assignment import (

@@ -10,15 +10,25 @@ from .units import (
     gbit_per_s,
     mb,
 )
-from .timing import Timer, StopwatchRegistry
-from .arrays import as_contiguous, dtype_size, flat_view
+from .timing import (
+    StopwatchRegistry,
+    Timer,
+    TransferCounters,
+    counting_transfers,
+    transfer_counters,
+)
+from .arrays import StagingPool, as_contiguous, dtype_size, flat_view
 
 __all__ = [
     "GiB",
     "KiB",
     "MiB",
+    "StagingPool",
     "StopwatchRegistry",
     "Timer",
+    "TransferCounters",
+    "counting_transfers",
+    "transfer_counters",
     "as_contiguous",
     "dtype_size",
     "flat_view",

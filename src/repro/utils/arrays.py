@@ -4,6 +4,45 @@ from __future__ import annotations
 
 import numpy as np
 
+from .timing import TRANSFER_COUNTERS
+
+
+class StagingPool:
+    """A reuse pool for staging/output arrays keyed by (shape, dtype).
+
+    Repeated redistribution of same-layout data (the paper's dynamic-data
+    use case — one call per simulation frame) needs the same scratch arrays
+    every time; this pool hands back the previously allocated array instead
+    of allocating afresh.  One array is cached per key, so a taken array is
+    only valid until the same key is taken again — which matches the
+    per-frame lifecycle of every caller.  Not thread-safe: each SPMD rank
+    owns its own pool.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[tuple[tuple[int, ...], np.dtype], np.ndarray] = {}
+
+    def take(self, shape, dtype) -> np.ndarray:
+        """An uninitialised array of the requested geometry (cached)."""
+        if np.isscalar(shape):
+            shape = (shape,)
+        key = (tuple(int(s) for s in shape), np.dtype(dtype))
+        array = self._arrays.get(key)
+        if array is None:
+            array = np.empty(key[0], dtype=key[1])
+            if TRANSFER_COUNTERS.enabled:
+                TRANSFER_COUNTERS.count_alloc(array.nbytes)
+            self._arrays[key] = array
+        return array
+
+    def take_filled(self, shape, dtype, fill) -> np.ndarray:
+        array = self.take(shape, dtype)
+        array.fill(fill)
+        return array
+
+    def clear(self) -> None:
+        self._arrays.clear()
+
 
 def dtype_size(dtype: np.dtype | type | str) -> int:
     """Byte size of one element of ``dtype``."""

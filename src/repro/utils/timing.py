@@ -1,9 +1,13 @@
-"""Lightweight wall-clock timing helpers used by benches and examples."""
+"""Lightweight wall-clock timing helpers used by benches and examples,
+plus the transfer-accounting hook the transport layer reports into."""
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 class Timer:
@@ -69,3 +73,88 @@ class StopwatchRegistry:
             for name in sorted(self.totals)
         ]
         return "\n".join(lines)
+
+
+class TransferCounters:
+    """Byte/copy accounting for the redistribution transfer path.
+
+    The transport layer (``repro.mpisim``) and the DDR core report every
+    staging allocation and every array copy here, so benchmarks and tests
+    can *assert* copy counts instead of inferring them from timings —
+    e.g. that the zero-copy transport performs exactly one copy per lane
+    and that a cached :class:`~repro.core.api.Redistributor` allocates no
+    new arrays on repeated exchanges.
+
+    Disabled by default; every hot-path hook is a single attribute check
+    in that state.  Enable through :func:`counting_transfers` (preferred)
+    or ``enabled = True`` + :meth:`reset`.
+    """
+
+    #: copy kinds reported by the transport layer
+    KINDS = ("pack", "unpack", "payload", "direct")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        self.copies: dict[str, int] = {kind: 0 for kind in self.KINDS}
+        self.bytes_copied: dict[str, int] = {kind: 0 for kind in self.KINDS}
+        self.allocations = 0
+        self.bytes_allocated = 0
+
+    def count_copy(self, kind: str, nbytes: int) -> None:
+        with self._lock:
+            self.copies[kind] += 1
+            self.bytes_copied[kind] += int(nbytes)
+
+    def count_alloc(self, nbytes: int) -> None:
+        with self._lock:
+            self.allocations += 1
+            self.bytes_allocated += int(nbytes)
+
+    @property
+    def total_copies(self) -> int:
+        return sum(self.copies.values())
+
+    @property
+    def total_bytes_copied(self) -> int:
+        return sum(self.bytes_copied.values())
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for JSON records and asserts."""
+        with self._lock:
+            return {
+                "copies": dict(self.copies),
+                "bytes_copied": dict(self.bytes_copied),
+                "allocations": self.allocations,
+                "bytes_allocated": self.bytes_allocated,
+            }
+
+
+#: Process-wide singleton the transport hooks report into.  All SPMD "ranks"
+#: are threads of one process, so one set of counters sees every lane.
+TRANSFER_COUNTERS = TransferCounters()
+
+
+def transfer_counters() -> TransferCounters:
+    return TRANSFER_COUNTERS
+
+
+@contextmanager
+def counting_transfers() -> Iterator[TransferCounters]:
+    """Enable transfer accounting within a block (counters reset on entry).
+
+    >>> with counting_transfers() as counters:
+    ...     pass
+    >>> counters.total_copies
+    0
+    """
+    was_enabled = TRANSFER_COUNTERS.enabled
+    TRANSFER_COUNTERS.reset()
+    TRANSFER_COUNTERS.enabled = True
+    try:
+        yield TRANSFER_COUNTERS
+    finally:
+        TRANSFER_COUNTERS.enabled = was_enabled

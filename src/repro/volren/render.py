@@ -84,7 +84,9 @@ def mip_project(data: np.ndarray, axis: str = "z") -> np.ndarray:
     raise ValueError(f"axis must be one of 'x', 'y', 'z', got {axis!r}")
 
 
-def rgba_to_rgb(accum: np.ndarray, background: tuple[float, float, float] = (0, 0, 0)) -> np.ndarray:
+def rgba_to_rgb(
+    accum: np.ndarray, background: tuple[float, float, float] = (0, 0, 0)
+) -> np.ndarray:
     """Blend a premultiplied RGBA buffer over a background; returns uint8 RGB."""
     bg = np.asarray(background, dtype=np.float64)
     rgb = accum[..., :3] + (1.0 - accum[..., 3:4]) * bg

@@ -6,12 +6,36 @@ import numpy as np
 import pytest
 
 from repro.mpisim import run_spmd
+from repro.utils import transfer_counters
 
 
 def spmd(nprocs, fn, *args, **kwargs):
     """run_spmd with a short deadlock timeout so broken tests fail fast."""
     kwargs.setdefault("deadlock_timeout", 20.0)
     return run_spmd(nprocs, fn, *args, **kwargs)
+
+
+def counted_region(comm, fn):
+    """Collective: run ``fn()`` with transfer counting on, return a snapshot.
+
+    The counters are one process-wide singleton while SPMD ranks are
+    threads, so enable/reset must happen on exactly one rank and be fenced
+    by barriers — otherwise a late rank's reset wipes counts already made
+    by an early one.  The snapshot covers *all* ranks' traffic.
+    """
+    counters = transfer_counters()
+    comm.Barrier()
+    if comm.rank == 0:
+        counters.reset()
+        counters.enabled = True
+    comm.Barrier()
+    result = fn()
+    comm.Barrier()
+    snapshot = counters.snapshot()
+    comm.Barrier()
+    if comm.rank == 0:
+        counters.enabled = False
+    return result, snapshot
 
 
 @pytest.fixture

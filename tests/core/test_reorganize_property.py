@@ -17,6 +17,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import Box, Redistributor
+from repro.mpisim import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, transport
 from tests.conftest import spmd
 
 
@@ -151,4 +152,48 @@ class TestBackendsAgree:
         out_a = spmd(nprocs, fn, "alltoallw")
         out_b = spmd(nprocs, fn, "p2p")
         for a, b in zip(out_a, out_b):
+            assert np.array_equal(a, b)
+
+
+class TestTransportsAgree:
+    """The property must hold identically under both wire transports."""
+
+    @pytest.mark.parametrize("mode", [TRANSPORT_ZEROCOPY, TRANSPORT_PACKED])
+    @pytest.mark.parametrize("backend", ["alltoallw", "p2p"])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_property_under_transport(self, mode, backend, seed):
+        with transport(mode):
+            run_case(2, 4, seed, backend)
+
+    @pytest.mark.parametrize("mode", [TRANSPORT_ZEROCOPY, TRANSPORT_PACKED])
+    def test_3d_under_transport(self, mode):
+        with transport(mode):
+            run_case(3, 4, 23, "alltoallw")
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_transports_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        ndim, nprocs = 2, 4
+        dims = tuple(int(rng.integers(3, 8)) for _ in range(ndim))
+        domain = Box((0,) * ndim, dims)
+        tiles = bisect_tiling(domain, 2 * nprocs, rng)
+        assignment = rng.integers(0, nprocs, size=len(tiles))
+        owns = [[tiles[i] for i in np.nonzero(assignment == r)[0]] for r in range(nprocs)]
+        needs = [random_subbox(domain, rng) for _ in range(nprocs)]
+        reference = global_reference(domain, np.float32)
+
+        def fn(comm, mode):
+            red = Redistributor(
+                comm, ndims=ndim, dtype=np.float32, transport=mode
+            )
+            red.setup(own=owns[comm.rank], need=needs[comm.rank])
+            buffers = [
+                np.ascontiguousarray(extract(reference, domain, c)) for c in owns[comm.rank]
+            ]
+            return red.gather_need(buffers, fill=-1)
+
+        out_zc = spmd(nprocs, fn, TRANSPORT_ZEROCOPY)
+        out_pk = spmd(nprocs, fn, TRANSPORT_PACKED)
+        for a, b in zip(out_zc, out_pk):
             assert np.array_equal(a, b)

@@ -9,8 +9,6 @@ size."
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.intransit import PipelineConfig, run_pipeline
 from repro.lbm import LbmConfig
 from tests.conftest import spmd

@@ -73,7 +73,8 @@ class TestBitReader:
         with pytest.raises(EOFError, match="marker"):
             r.read(8)
 
-    @given(values=st.lists(st.tuples(st.integers(1, 16), st.integers(0, 2**16 - 1)), min_size=1, max_size=40))
+    @given(values=st.lists(st.tuples(st.integers(1, 16), st.integers(0, 2**16 - 1)),
+                           min_size=1, max_size=40))
     @settings(max_examples=80, deadline=None)
     def test_property_roundtrip(self, values):
         w = BitWriter()

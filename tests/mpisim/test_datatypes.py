@@ -165,3 +165,117 @@ class TestSubarray:
         untouched = np.full(n, -1.0).reshape(sizes)
         untouched[sl] = grid_s[sl]
         assert np.array_equal(grid_d, untouched)
+
+
+class TestViewProtocol:
+    """``view``/``copy_into``: the zero-copy transport's datatype contract."""
+
+    def test_named_and_contiguous_views_share_memory(self):
+        buf = np.arange(6, dtype=np.float32)
+        assert FLOAT.is_contiguous()
+        v = FLOAT.view(buf)
+        assert v.size == 1 and np.shares_memory(v, buf)
+        t = FLOAT.Create_contiguous(4)
+        assert t.is_contiguous()
+        v = t.view(buf)
+        assert v.size == 4 and np.shares_memory(v, buf)
+        v[0] = 99.0
+        assert buf[0] == 99.0
+
+    def test_vector_strided_view(self):
+        t = INT.Create_vector(3, 2, 4)
+        buf = np.arange(13, dtype=np.int32)  # one past the 12-element extent
+        assert not t.is_contiguous()
+        v = t.view(buf)
+        assert v is not None and np.shares_memory(v, buf)
+        assert v.reshape(-1).tolist() == t.pack(buf).tolist()
+
+    def test_vector_view_unexpressible_cases(self):
+        # Buffer ending exactly at the extent: the (count, stride) reshape
+        # would read past the end, so no view — pack still works.
+        t = INT.Create_vector(3, 2, 4)
+        exact = np.arange(10, dtype=np.int32)
+        assert t.view(exact) is None
+        assert t.pack(exact).tolist() == [0, 1, 4, 5, 8, 9]
+        # Overlapping blocks can never be a basic-slicing view.
+        o = VectorType(INT, 2, 3, 1)
+        buf = np.arange(8, dtype=np.int32)
+        assert o.view(buf) is None
+        assert o.pack(buf).tolist() == [0, 1, 2, 1, 2, 3]
+
+    def test_vector_unit_count_is_contiguous(self):
+        assert INT.Create_vector(1, 5, 9).is_contiguous()
+        assert INT.Create_vector(4, 3, 3).is_contiguous()
+
+    def test_subarray_view_matches_pack(self):
+        t = FLOAT.Create_subarray((4, 5), (2, 3), (1, 1))
+        buf = np.arange(20, dtype=np.float32)
+        v = t.view(buf)
+        assert v.shape == (2, 3) and np.shares_memory(v, buf)
+        assert v.reshape(-1).tolist() == t.pack(buf).tolist()
+
+    def test_subarray_contiguity_detection(self):
+        assert FLOAT.Create_subarray((4, 4), (4, 4), (0, 0)).is_contiguous()
+        assert FLOAT.Create_subarray((4, 4), (1, 4), (2, 0)).is_contiguous()
+        assert FLOAT.Create_subarray((4, 4), (2, 4), (1, 0)).is_contiguous()
+        assert not FLOAT.Create_subarray((4, 4), (2, 2), (0, 0)).is_contiguous()
+        assert not FLOAT.Create_subarray((2, 3, 4), (2, 2, 4), (0, 0, 0)).is_contiguous()
+        # Single-element selections are trivially contiguous.
+        assert FLOAT.Create_subarray((4, 4), (1, 1), (3, 3)).is_contiguous()
+
+    def test_cached_geometry_is_precomputed(self):
+        vec = INT.Create_vector(3, 2, 4)
+        assert vec._indices() is vec._indices()  # one array, built at __init__
+        sub = FLOAT.Create_subarray((4, 4), (2, 2), (1, 1))
+        assert sub._slices() is sub._slices()
+
+    def test_copy_into_same_geometry(self):
+        t = FLOAT.Create_subarray((4, 4), (2, 2), (1, 1))
+        src = np.arange(16, dtype=np.float32)
+        dst = np.zeros(16, dtype=np.float32)
+        t.copy_into(src, dst)
+        assert np.array_equal(t.pack(dst), t.pack(src))
+        assert dst.reshape(4, 4)[0].sum() == 0  # outside the block untouched
+
+    def test_copy_into_differing_type_shapes(self):
+        # A (2, 2) block moved into a contiguous run and a strided vector.
+        s = INT.Create_subarray((4, 4), (2, 2), (0, 0))
+        src = np.arange(16, dtype=np.int32)
+        run = INT.Create_contiguous(4)
+        dst = np.full(6, -1, dtype=np.int32)
+        s.copy_into(src, dst, run)
+        assert dst.tolist() == [0, 1, 4, 5, -1, -1]
+        vec = INT.Create_vector(4, 1, 2)
+        strided = np.full(8, -1, dtype=np.int32)
+        s.copy_into(src, strided, vec)
+        assert strided.tolist() == [0, -1, 1, -1, 4, -1, 5, -1]
+
+    def test_copy_into_casts_like_pack_unpack(self):
+        t = DOUBLE.Create_contiguous(3)
+        ti = INT.Create_contiguous(3)
+        src = np.array([1.9, -2.9, 3.1])
+        direct = np.zeros(3, dtype=np.int32)
+        t.copy_into(src, direct, ti)
+        staged = np.zeros(3, dtype=np.int32)
+        ti.unpack(staged, t.pack(src))
+        assert direct.tolist() == staged.tolist()
+
+    def test_copy_into_size_mismatch_raises(self):
+        with pytest.raises(DatatypeError):
+            INT.Create_contiguous(3).copy_into(
+                np.zeros(3, dtype=np.int32),
+                np.zeros(4, dtype=np.int32),
+                INT.Create_contiguous(4),
+            )
+
+    def test_pack_into_preallocated_out(self):
+        t = FLOAT.Create_subarray((3, 3), (2, 2), (0, 0))
+        buf = np.arange(9, dtype=np.float32)
+        out = np.empty(4, dtype=np.float32)
+        result = t.pack(buf, out=out)
+        assert np.shares_memory(result, out)
+        assert result.tolist() == [0, 1, 3, 4]
+        with pytest.raises(DatatypeError):
+            t.pack(buf, out=np.empty(2, dtype=np.float32))  # too small
+        with pytest.raises(DatatypeError):
+            t.pack(buf, out=np.empty(4, dtype=np.float64))  # wrong dtype

@@ -10,9 +10,7 @@ from repro.mpisim import (
     ANY_TAG,
     CommunicatorError,
     FLOAT,
-    Status,
     TruncationError,
-    run_spmd,
 )
 from tests.conftest import spmd
 

@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.mpisim import ANY_SOURCE, ANY_TAG, SUM, run_spmd
+from repro.mpisim import ANY_SOURCE, ANY_TAG, SUM
 from tests.conftest import spmd
 
 

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.netmodel import COOLEY, ClusterSpec, fs_saturation_factor, image_read_time, stack_read_time
+from repro.netmodel import (
+    COOLEY,
+    ClusterSpec,
+    fs_saturation_factor,
+    image_read_time,
+    stack_read_time,
+)
 from repro.utils import MiB
 
 

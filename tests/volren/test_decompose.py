@@ -46,7 +46,8 @@ class TestGridShape:
     def test_paper_cubes(self):
         dims = (4096, 2048, 4096)
         assert grid_shape(27, dims) == (3, 3, 3)
-        assert grid_shape(64, dims) == (4, 4, 4) or grid_shape(64, dims)[0] * grid_shape(64, dims)[1] * grid_shape(64, dims)[2] == 64
+        grid = grid_shape(64, dims)
+        assert grid == (4, 4, 4) or grid[0] * grid[1] * grid[2] == 64
 
     def test_product_equals_nprocs(self):
         for n in (6, 12, 30, 100):
