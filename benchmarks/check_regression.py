@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Compare two BENCH_micro.json records and fail on throughput regressions.
+"""Compare two benchmark JSON records and fail on throughput regressions.
 
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json [CURRENT.json]
 
 ``CURRENT`` defaults to ``benchmarks/BENCH_micro.json`` (the file the
-transport benchmarks in ``bench_micro.py`` write).  A benchmark regresses
-when its zero-copy throughput drops more than ``--tolerance`` (default 20%)
-below the baseline; benchmarks present in only one record are reported but
-do not fail the check.  Exit status: 0 = no regression, 1 = regression,
+transport benchmarks in ``bench_micro.py`` write); pass the engine bench's
+``BENCH_engine.json`` with ``--field throughput_gib_s`` to gate that record
+instead.  A benchmark regresses when its watched throughput field drops
+more than ``--tolerance`` (default 20%) below the baseline; benchmarks
+present in only one record — or lacking the watched field — are reported
+but do not fail the check.  Exit status: 0 = no regression, 1 = regression,
 2 = usage/IO error.
 """
 
@@ -46,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=0.20,
         help="allowed fractional throughput drop (default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--field", default=WATCHED_FIELD,
+        help=f"throughput field to compare (default: {WATCHED_FIELD})",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -59,8 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         if name not in baseline:
             print(f"  {name}: new benchmark (no baseline)")
             continue
-        old = float(baseline[name][WATCHED_FIELD])
-        new = float(current[name][WATCHED_FIELD])
+        if args.field not in baseline[name] or args.field not in current[name]:
+            print(f"  {name}: no {args.field!r} field (skipped)")
+            continue
+        old = float(baseline[name][args.field])
+        new = float(current[name][args.field])
         change = (new - old) / old if old else 0.0
         status = "ok"
         if change < -args.tolerance:

@@ -83,6 +83,55 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from .core import Box, compute_global_plan, global_schedules
+    from .netmodel import COOLEY, engine_cost
+
+    nprocs = args.nprocs
+    side = args.side
+    if side % nprocs != 0:
+        print(f"error: --side {side} must be a multiple of --nprocs {nprocs}",
+              file=sys.stderr)
+        return 2
+    rows = side // nprocs
+
+    def ring(rank):
+        own = [Box((0, rank * rows), (side, rows))]
+        need = Box((0, ((rank + 1) % nprocs) * rows), (side, rows))
+        return own, need
+
+    def transpose(rank):
+        own = [Box((0, rank * rows), (side, rows))]
+        need = Box((rank * rows, 0), (rows, side))
+        return own, need
+
+    patterns = {"sparse_ring": ring, "dense_transpose": transpose}
+    print(
+        f"exchange-engine cost model ({nprocs} ranks, {side}x{side} float32, "
+        f"cluster {COOLEY.name}):"
+    )
+    for name, layout in patterns.items():
+        plan = compute_global_plan(
+            [layout(r)[0] for r in range(nprocs)],
+            [layout(r)[1] for r in range(nprocs)],
+            element_size=4,
+        )
+        sched = global_schedules(plan)[0]
+        print(f"\n{name}: {sched.nrounds} round(s), "
+              f"max partners/round {sched.max_partners}")
+        for backend in ("alltoallw", "p2p", "auto"):
+            cost = engine_cost(COOLEY, plan, backend)
+            detail = ""
+            if backend == "auto":
+                detail = f"  rounds -> {', '.join(cost.round_engines)}"
+            print(
+                f"  {backend:>9}: {cost.total_s * 1e6:9.1f} us  "
+                f"(alpha {cost.alpha_s * 1e6:7.1f}, msgs {cost.message_s * 1e6:7.1f}, "
+                f"xfer {cost.transfer_s * 1e6:7.1f}){detail}"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -116,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "sensitivity", help="model-calibration tornado (beyond the paper)"
     ).set_defaults(fn=_cmd_sensitivity)
+
+    pe = sub.add_parser(
+        "engines", help="per-engine exchange cost + auto-selection choices"
+    )
+    pe.add_argument("--nprocs", type=int, default=8)
+    pe.add_argument("--side", type=int, default=256,
+                    help="square field edge length (default 256)")
+    pe.set_defaults(fn=_cmd_engines)
     return parser
 
 

@@ -15,11 +15,34 @@ from .descriptor import (
     DataDescriptor,
     DataLayout,
 )
-from .mapping import LocalMapping, plan_from_declarations, setup_data_mapping
+from .engine import (
+    ENGINES,
+    AlltoallwEngine,
+    AutoEngine,
+    ExchangeEngine,
+    P2PEngine,
+    default_backend,
+    get_engine,
+)
+from .mapping import (
+    LocalMapping,
+    StaleMappingError,
+    plan_from_declarations,
+    setup_data_mapping,
+)
 from .packing import BufferCache, check_buffers, check_buffers_cached
 from .p2p import message_count_p2p, reorganize_data_p2p
 from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry, compute_global_plan
 from .reorganize import reorganize_data, reorganize_rounds
+from .schedule import (
+    ExchangeSchedule,
+    Lane,
+    RoundSchedule,
+    build_schedule,
+    collective_preferred,
+    global_schedules,
+    round_max_partners,
+)
 from .serialize import (
     attach_loaded_plan,
     load_plan,
@@ -30,6 +53,9 @@ from .serialize import (
 from .validate import MappingValidationError, check_send_coverage, infer_domain
 
 __all__ = [
+    "ENGINES",
+    "AlltoallwEngine",
+    "AutoEngine",
     "Box",
     "BufferCache",
     "DATA_TYPE_1D",
@@ -40,20 +66,31 @@ __all__ = [
     "DDR_SetupDataMapping",
     "DataDescriptor",
     "DataLayout",
+    "ExchangeEngine",
+    "ExchangeSchedule",
     "GhostExchanger",
     "GlobalPlan",
+    "Lane",
     "LocalMapping",
     "MappingValidationError",
+    "P2PEngine",
     "RankPlan",
     "RecvEntry",
     "Redistributor",
+    "RoundSchedule",
     "SendEntry",
+    "StaleMappingError",
     "attach_loaded_plan",
     "boxes_from_flat",
+    "build_schedule",
     "check_buffers",
     "check_buffers_cached",
     "check_send_coverage",
+    "collective_preferred",
     "compute_global_plan",
+    "default_backend",
+    "get_engine",
+    "global_schedules",
     "infer_domain",
     "inflate_box",
     "intersect_many",
@@ -62,6 +99,7 @@ __all__ = [
     "plan_from_declarations",
     "plan_from_dict",
     "plan_to_dict",
+    "round_max_partners",
     "save_plan",
     "reorganize_data",
     "reorganize_data_p2p",

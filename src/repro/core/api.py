@@ -22,11 +22,10 @@ import numpy as np
 
 from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
 from ..mpisim.datatypes import NamedType
-from ..utils.arrays import StagingPool
 from .box import Box, boxes_from_flat
 from .descriptor import DataDescriptor, DataLayout
+from .engine import default_backend, get_engine
 from .mapping import LocalMapping, setup_data_mapping
-from .p2p import reorganize_data_p2p
 from .reorganize import reorganize_data
 
 
@@ -109,10 +108,22 @@ class Redistributor:
     with the same buffers also skip revalidation and staging allocations
     (see :class:`~repro.core.packing.BufferCache`).
 
+    ``backend`` picks the execution engine: ``"alltoallw"`` (dense
+    collective), ``"p2p"`` (direct sends), or ``"auto"`` (per-round
+    selection driven by the plan's sparsity).  ``None`` follows the
+    process default — the ``DDR_BACKEND`` environment variable when set,
+    otherwise ``"alltoallw"``.
+
     ``transport`` picks the mpisim wire strategy for every exchange this
     instance performs: ``"zerocopy"`` (receiver copies straight out of the
     sender's live buffer), ``"packed"`` (classic pack -> payload -> unpack),
     or ``None`` to follow the communicator/process default.
+
+    A ``Redistributor`` may hold several live mappings at once: ``setup()``
+    replaces (and invalidates) the *active* mapping, while
+    ``new_mapping()`` returns an independent handle that stays valid and
+    can be passed to ``exchange(..., mapping=...)`` — e.g. two layouts over
+    the same communicator, exchanged alternately.
     """
 
     def __init__(
@@ -120,7 +131,7 @@ class Redistributor:
         comm: Communicator,
         ndims: int,
         dtype: np.dtype | type | str,
-        backend: str = "alltoallw",
+        backend: Optional[str] = None,
         components: int = 1,
         transport: Optional[str] = None,
     ) -> None:
@@ -128,13 +139,11 @@ class Redistributor:
         self.descriptor = DataDescriptor.create(
             comm.size, DataLayout(ndims), dtype, components=components
         )
-        self.set_backend(backend)
+        self.set_backend(default_backend() if backend is None else backend)
         self.set_transport(transport)
-        self._pool = StagingPool()
 
     def set_backend(self, backend: str) -> None:
-        if backend not in ("alltoallw", "p2p"):
-            raise ValueError(f"unknown backend {backend!r} (use 'alltoallw' or 'p2p')")
+        self._engine = get_engine(backend)
         self.backend = backend
 
     def set_transport(self, transport: Optional[str]) -> None:
@@ -150,8 +159,28 @@ class Redistributor:
         need: Optional[Box],
         validate: bool = True,
     ) -> LocalMapping:
-        """Collective; every rank passes its own chunks and its needed box."""
+        """Collective; every rank passes its own chunks and its needed box.
+
+        Re-calling ``setup()`` is cheap reconfiguration: the new mapping
+        becomes the active one and the previous active mapping is
+        invalidated (its caches drop; further use raises
+        :class:`~repro.core.mapping.StaleMappingError`).
+        """
         return setup_data_mapping(self.comm, self.descriptor, own, need, validate=validate)
+
+    def new_mapping(
+        self,
+        own: Sequence[Box],
+        need: Optional[Box],
+        validate: bool = True,
+    ) -> LocalMapping:
+        """Collective; build an independent mapping without touching the
+        active one.  The returned handle stays valid across later
+        ``setup()``/``new_mapping()`` calls and is exchanged via
+        ``exchange(..., mapping=handle)``."""
+        return setup_data_mapping(
+            self.comm, self.descriptor, own, need, validate=validate, attach=False
+        )
 
     @property
     def mapping(self) -> LocalMapping:
@@ -168,41 +197,51 @@ class Redistributor:
         self,
         own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
         need_buffer: Optional[np.ndarray],
+        mapping: Optional[LocalMapping] = None,
     ) -> None:
-        """Redistribute one generation of data through the prepared mapping."""
-        if self.backend == "p2p":
-            reorganize_data_p2p(
-                self.comm, self.descriptor, own_buffers, need_buffer,
-                transport=self.transport,
-            )
-        else:
-            reorganize_data(
-                self.comm, self.descriptor, own_buffers, need_buffer,
-                transport=self.transport,
-            )
+        """Redistribute one generation of data through the prepared mapping.
+
+        ``mapping`` defaults to the active one; pass a handle from
+        ``new_mapping()`` to exchange through an alternative layout.
+        """
+        self._engine.execute(
+            self.comm,
+            self.mapping if mapping is None else mapping,
+            own_buffers,
+            need_buffer,
+            transport=self.transport,
+        )
+
+    def engine_choices(self, mapping: Optional[LocalMapping] = None) -> list[str]:
+        """Per-round engine the ``auto`` backend would pick for a mapping."""
+        return (self.mapping if mapping is None else mapping).schedule.engine_choices()
 
     def gather_need(
         self,
         own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
         fill: float | int = 0,
         reuse_out: bool = False,
+        mapping: Optional[LocalMapping] = None,
     ) -> Optional[np.ndarray]:
         """Convenience: allocate the need buffer, exchange, and return it.
 
         With ``reuse_out=True`` the same output array is returned on every
         call (refilled and re-exchanged), so a per-time-step loop allocates
-        nothing; the caller must be done with the previous generation.
+        nothing; the caller must be done with the previous generation.  The
+        reuse pool lives on the mapping, so concurrent mappings reuse
+        independently.
         """
-        need = self.mapping.need
+        active = self.mapping if mapping is None else mapping
+        need = active.need
         if need is None or need.is_empty():
-            self.exchange(own_buffers, None)
+            self.exchange(own_buffers, None, mapping=active)
             return None
         shape = need.np_shape()
         if self.descriptor.components > 1:
             shape = shape + (self.descriptor.components,)
         if reuse_out:
-            out = self._pool.take_filled(shape, self.descriptor.dtype, fill)
+            out = active.pool.take_filled(shape, self.descriptor.dtype, fill)
         else:
             out = np.full(shape, fill, dtype=self.descriptor.dtype)
-        self.exchange(own_buffers, out)
+        self.exchange(own_buffers, out, mapping=active)
         return out

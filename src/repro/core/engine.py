@@ -1,0 +1,250 @@
+"""Pluggable execution engines for ``DDR_ReorganizeData``.
+
+All engines replay the same :class:`~repro.core.schedule.ExchangeSchedule`
+IR and are bit-identical on the wire's *contents* (property-tested); they
+differ only in how a round's lanes hit the network:
+
+``AlltoallwEngine``
+    One ``MPI_Alltoallw`` per round (paper §III-C) — the O(P) dense
+    collective, with the self-transfer carried on the diagonal lane.
+``P2PEngine``
+    The paper's §V future work: only actual partners communicate.  Per
+    round it posts every ``Irecv``, then every ``Isend`` (rendezvous on
+    the zero-copy transport), then waits — no serialisation on message
+    arrival order.
+``AutoEngine``
+    Per-round selection between the two, keyed on the plan's global
+    sparsity statistic (``RoundSchedule.max_partners``).  Because that
+    statistic is derived from the deterministic global plan, every rank
+    picks the same protocol for a round without communicating.
+
+The base class owns everything the engines share: staleness/communicator
+validation, buffer normalisation and cached validation, transport
+resolution, and the per-round send-buffer selection.  This file is the
+*only* place that logic lives.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.request import Request, wait_all
+from .descriptor import DataDescriptor
+from .mapping import LocalMapping
+from .packing import check_buffers_cached
+from .schedule import RoundSchedule, collective_preferred
+
+#: Environment override for the default backend (e.g. ``DDR_BACKEND=auto``).
+ENV_BACKEND = "DDR_BACKEND"
+
+Buffers = Union[np.ndarray, Sequence[np.ndarray], None]
+
+
+def normalise_own(data_own: Buffers) -> list[np.ndarray]:
+    """Accept one array, a sequence, or ``None`` for the owned-chunk buffers."""
+    if data_own is None:
+        return []
+    if isinstance(data_own, np.ndarray):
+        return [data_own]
+    return list(data_own)
+
+
+def mapping_from_descriptor(descriptor: DataDescriptor) -> LocalMapping:
+    """The descriptor's attached mapping, or the canonical lifecycle error."""
+    mapping = descriptor.plan
+    if not isinstance(mapping, LocalMapping):
+        raise RuntimeError(
+            "DDR_SetupDataMapping must be called before DDR_ReorganizeData"
+        )
+    return mapping
+
+
+class ExchangeEngine:
+    """Base class: shared validation/staging; subclasses run one round."""
+
+    name: str = "abstract"
+
+    def execute(
+        self,
+        comm: Communicator,
+        mapping: LocalMapping,
+        data_own: Buffers,
+        data_need: Optional[np.ndarray],
+        transport: Optional[str] = None,
+    ) -> None:
+        """Redistribute: fill ``data_need`` from everyone's ``data_own``.
+
+        Collective over ``comm`` — every rank must call with the same
+        engine and transport.  Repeat calls with the same arrays skip
+        buffer revalidation (the mapping caches the accepted set) and, on
+        the zero-copy transport, allocate no staging arrays at all.
+        """
+        mapping.check_usable(comm)
+        own, need = check_buffers_cached(
+            mapping.plan,
+            mapping.dtype,
+            normalise_own(data_own),
+            data_need,
+            mapping.components,
+            mapping.buffer_cache,
+        )
+        zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
+        for rnd in mapping.rounds:
+            sendbuf: Optional[np.ndarray] = None
+            if rnd.chunk_index is not None:
+                sendbuf = own[rnd.chunk_index]
+            self.run_round(comm, rnd, sendbuf, need, transport, zero_copy)
+
+    def run_round(
+        self,
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        transport: Optional[str],
+        zero_copy: bool,
+    ) -> None:
+        raise NotImplementedError
+
+    # -- shared round primitives --------------------------------------------
+
+    @staticmethod
+    def _collective_round(
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        transport: Optional[str],
+    ) -> None:
+        comm.Alltoallw(sendbuf, rnd.sendtypes(), need, rnd.recvtypes(), transport=transport)
+
+    @staticmethod
+    def _self_copy(
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        zero_copy: bool,
+    ) -> None:
+        send = rnd.self_send
+        if send is None or send.datatype is None or send.datatype.size_elements() == 0:
+            return
+        recv = rnd.self_recv
+        assert sendbuf is not None and need is not None
+        assert recv is not None and recv.datatype is not None
+        if zero_copy and not np.may_share_memory(sendbuf, need):
+            send.datatype.copy_into(sendbuf, need, recv.datatype)
+        else:
+            recv.datatype.unpack(need, send.datatype.pack(sendbuf))
+
+    @classmethod
+    def _direct_round(
+        cls,
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        zero_copy: bool,
+    ) -> None:
+        # Self-transfer first, without touching the mailbox.
+        cls._self_copy(rnd, sendbuf, need, zero_copy)
+
+        # Every receive is posted before any send: a (source, round) pair
+        # carries at most one message (a source drains at most one chunk per
+        # round), so the round-index tag disambiguates fully and no rank
+        # blocks on arrival order.
+        recv_requests: list[Request] = []
+        for lane in rnd.recvs:
+            if lane.datatype is None or lane.datatype.size_elements() == 0:
+                continue
+            assert need is not None
+            recv_requests.append(
+                comm.Irecv(need, lane.peer, tag=rnd.index, datatype=lane.datatype)
+            )
+
+        send_requests: list[Request] = []
+        for lane in rnd.sends:
+            if lane.datatype is None or lane.datatype.size_elements() == 0:
+                continue
+            assert sendbuf is not None
+            send_requests.append(
+                comm.Isend(
+                    sendbuf, lane.peer, tag=rnd.index, datatype=lane.datatype,
+                    rendezvous=zero_copy,
+                )
+            )
+
+        wait_all(recv_requests)
+        # Rendezvous sends hold the buffer live until the peer has copied;
+        # the round boundary is where that guarantee must be settled.
+        wait_all(send_requests)
+
+
+class AlltoallwEngine(ExchangeEngine):
+    """Dense collective backend: one ``Alltoallw`` per round (paper §III-C)."""
+
+    name = "alltoallw"
+
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
+        self._collective_round(comm, rnd, sendbuf, need, transport)
+
+
+class P2PEngine(ExchangeEngine):
+    """Direct-send backend (paper §V): only actual partners communicate."""
+
+    name = "p2p"
+
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
+        self._direct_round(comm, rnd, sendbuf, need, zero_copy)
+
+
+class AutoEngine(ExchangeEngine):
+    """Plan-driven per-round selection: dense -> collective, sparse -> direct.
+
+    The decision keys on ``rnd.max_partners`` — the busiest rank's partner
+    count for the round, computed from the global plan at setup time — so
+    all ranks agree on each round's wire protocol with no negotiation.
+    """
+
+    name = "auto"
+
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
+        if collective_preferred(rnd.max_partners, rnd.nprocs):
+            self._collective_round(comm, rnd, sendbuf, need, transport)
+        else:
+            self._direct_round(comm, rnd, sendbuf, need, zero_copy)
+
+    @staticmethod
+    def choices(mapping: LocalMapping) -> list[str]:
+        """Per-round engine this mapping will route through (for inspection)."""
+        return mapping.schedule.engine_choices()
+
+
+ENGINES: dict[str, ExchangeEngine] = {
+    engine.name: engine
+    for engine in (AlltoallwEngine(), P2PEngine(), AutoEngine())
+}
+
+
+def get_engine(name: str) -> ExchangeEngine:
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose one of {sorted(ENGINES)}"
+        ) from None
+
+
+def default_backend() -> str:
+    """The process-wide default engine: ``DDR_BACKEND`` env var, else alltoallw."""
+    value = os.environ.get(ENV_BACKEND)
+    if value is None:
+        return "alltoallw"
+    if value not in ENGINES:
+        raise ValueError(
+            f"{ENV_BACKEND}={value!r} is not a backend; choose one of {sorted(ENGINES)}"
+        )
+    return value

@@ -4,7 +4,16 @@ Each rank declares only its *local* picture — the chunks it owns and the
 single chunk it needs (paper §III-B, Table I).  The mapping step is a
 collective: ranks allgather their declarations, every rank runs the same
 deterministic planner (:func:`repro.core.plan.compute_global_plan`), and
-each keeps its own :class:`LocalMapping` (plan slice + prebuilt datatypes).
+each keeps its own :class:`LocalMapping` — a first-class, ready-to-execute
+handle (schedule IR + buffer cache + staging pool).
+
+Mapping lifecycle: a :class:`~repro.core.api.Redistributor` may hold
+several live mappings at once (different layouts over the same
+communicator) and may cheaply re-``setup()`` on a new geometry (malleable
+reconfiguration).  Re-attaching a mapping to a descriptor *invalidates*
+the mapping it replaces: its caches are dropped and further exchanges
+through it raise :class:`StaleMappingError` instead of silently moving
+data with a superseded layout.
 """
 
 from __future__ import annotations
@@ -12,11 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..mpisim.comm import Communicator
+from ..utils.arrays import StagingPool
 from .box import Box
 from .descriptor import DataDescriptor
-from .packing import BufferCache, RoundTypes, build_round_types
+from .packing import BufferCache
 from .plan import GlobalPlan, RankPlan, compute_global_plan
+from .schedule import ExchangeSchedule, RoundSchedule, build_schedule, round_max_partners
 from .validate import (
     check_receives_within_domain,
     check_send_coverage,
@@ -24,19 +37,35 @@ from .validate import (
 )
 
 
+class StaleMappingError(RuntimeError):
+    """An exchange was attempted through a mapping that has been superseded."""
+
+
 @dataclass
 class LocalMapping:
-    """One rank's ready-to-execute schedule, stored on the descriptor."""
+    """One rank's ready-to-execute schedule — a first-class handle.
+
+    Holds everything an execution engine needs (the schedule IR with
+    prebuilt datatypes, the descriptor's element dtype/components) plus the
+    per-mapping caches: :class:`~repro.core.packing.BufferCache` (skips
+    buffer revalidation on repeat calls with the same arrays) and
+    :class:`~repro.utils.arrays.StagingPool` (reused output arrays for
+    ``gather_need(reuse_out=True)``).  Keying the caches per mapping is
+    what lets several mappings coexist on one ``Redistributor`` without
+    thrashing each other.
+    """
 
     rank: int
     nprocs: int
     nrounds: int
     plan: RankPlan
-    rounds: list[RoundTypes]
+    schedule: ExchangeSchedule
     domain: Optional[Box]
-    # Last validated buffer set; lets repeated reorganize calls on the same
-    # arrays skip per-call geometry checks (and every new allocation).
+    dtype: np.dtype = np.dtype(np.float32)
+    components: int = 1
     buffer_cache: BufferCache = field(default_factory=BufferCache)
+    pool: StagingPool = field(default_factory=StagingPool)
+    _stale: bool = field(default=False, init=False, repr=False)
 
     @property
     def own_chunks(self) -> list[Box]:
@@ -45,6 +74,34 @@ class LocalMapping:
     @property
     def need(self) -> Optional[Box]:
         return self.plan.need
+
+    @property
+    def rounds(self) -> list[RoundSchedule]:
+        return self.schedule.rounds
+
+    @property
+    def stale(self) -> bool:
+        return self._stale
+
+    def invalidate(self) -> None:
+        """Mark superseded: drop the caches, make further use raise."""
+        self._stale = True
+        self.buffer_cache.clear()
+        self.pool.clear()
+
+    def check_usable(self, comm: Communicator) -> None:
+        """Engine preamble: reject stale handles and mismatched worlds."""
+        if self._stale:
+            raise StaleMappingError(
+                f"mapping (rank {self.rank}/{self.nprocs}) was invalidated by a "
+                "later setup(); re-run setup() or keep an independent mapping "
+                "via Redistributor.new_mapping()"
+            )
+        if comm.size != self.nprocs or comm.rank != self.rank:
+            raise ValueError(
+                f"communicator (rank {comm.rank}/{comm.size}) does not match the "
+                f"mapping (rank {self.rank}/{self.nprocs})"
+            )
 
 
 def plan_from_declarations(
@@ -73,21 +130,38 @@ def local_mapping_from_global(
     descriptor: DataDescriptor,
 ) -> LocalMapping:
     plan = global_plan.rank_plans[rank]
-    rounds = build_round_types(
+    schedule = build_schedule(
         plan,
         global_plan.nprocs,
         global_plan.nrounds,
-        descriptor.mpi_type,
-        descriptor.components,
+        descriptor.element_size,
+        mpi_type=descriptor.mpi_type,
+        components=descriptor.components,
+        round_max_partners=round_max_partners(global_plan),
     )
     return LocalMapping(
         rank=rank,
         nprocs=global_plan.nprocs,
         nrounds=global_plan.nrounds,
         plan=plan,
-        rounds=rounds,
+        schedule=schedule,
         domain=domain,
+        dtype=descriptor.dtype,
+        components=descriptor.components,
     )
+
+
+def attach_mapping(descriptor: DataDescriptor, mapping: LocalMapping) -> None:
+    """Install ``mapping`` as the descriptor's active plan slot.
+
+    The C-style API addresses exchanges through the descriptor, so the slot
+    holds exactly one live mapping: whatever it previously held is
+    invalidated (stale use raises, caches are released).
+    """
+    previous = descriptor.plan
+    if isinstance(previous, LocalMapping) and previous is not mapping:
+        previous.invalidate()
+    descriptor.plan = mapping
 
 
 def setup_data_mapping(
@@ -96,12 +170,16 @@ def setup_data_mapping(
     own_chunks: Sequence[Box],
     need: Optional[Box],
     validate: bool = True,
+    attach: bool = True,
 ) -> LocalMapping:
-    """Collective: exchange declarations, plan, and attach the result.
+    """Collective: exchange declarations, plan, and build the mapping.
 
     Must be called by every rank of ``comm`` with its own declarations.
-    The computed :class:`LocalMapping` is stored on ``descriptor.plan``,
-    mirroring the paper's opaque-descriptor lifecycle, and also returned.
+    With ``attach=True`` (the default, mirroring the paper's
+    opaque-descriptor lifecycle) the mapping is stored on
+    ``descriptor.plan`` and any previously attached mapping is invalidated;
+    ``attach=False`` returns an independent handle and leaves the
+    descriptor untouched — the building block for concurrent mappings.
     """
     if comm.size != descriptor.nprocs:
         raise ValueError(
@@ -132,5 +210,6 @@ def setup_data_mapping(
 
     global_plan, domain = plan_from_declarations(owns, needs, descriptor, validate)
     local = local_mapping_from_global(global_plan, domain, comm.rank, descriptor)
-    descriptor.plan = local
+    if attach:
+        attach_mapping(descriptor, local)
     return local

@@ -4,97 +4,46 @@
 determine if data only needs to be redistributed to a few neighboring
 processes and use direct send and receive calls to improve efficiency."
 
-This backend replays the identical plan with ``Isend``/``Recv`` pairs —
-only actual partners communicate, so the message count per rank is the
-partner count rather than ``P`` per round.  Results are bit-identical to
-the ``Alltoallw`` backend (property-tested), which makes the backend an
-honest ablation for the benchmarks.
+This backend replays the identical schedule IR with ``Irecv``/``Isend``
+pairs — only actual partners communicate, so the message count per rank is
+the partner count rather than ``P`` per round.  Results are bit-identical
+to the ``Alltoallw`` backend (property-tested), which makes the backend an
+honest ablation for the benchmarks.  The execution logic lives in
+:class:`repro.core.engine.P2PEngine`; this module is the C-style entry
+point.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional
 
 import numpy as np
 
-from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
-from ..mpisim.request import Request, wait_all
+from ..mpisim.comm import Communicator
 from .descriptor import DataDescriptor
+from .engine import Buffers, get_engine, mapping_from_descriptor
 from .mapping import LocalMapping
-from .packing import check_buffers_cached
-from .reorganize import _normalise_own
 
 
 def reorganize_data_p2p(
     comm: Communicator,
     descriptor: DataDescriptor,
-    data_own: Union[np.ndarray, Sequence[np.ndarray], None],
+    data_own: Buffers,
     data_need: Optional[np.ndarray],
     transport: Optional[str] = None,
 ) -> None:
     """Drop-in replacement for :func:`repro.core.reorganize.reorganize_data`.
 
-    Per round: post one ``Isend`` per send entry (tag = round index), then
-    receive exactly the expected messages.  Each (source, round) pair
-    carries at most one message because a source has at most one chunk per
-    round, so tags disambiguate fully.  On the zero-copy transport the
-    sends are rendezvous (the receiver copies straight out of ``sendbuf``),
-    so the posted requests are waited at the end of the round; packed sends
+    Per round: post every expected ``Irecv``, then one ``Isend`` per send
+    lane (tag = round index), then wait.  Each (source, round) pair carries
+    at most one message because a source has at most one chunk per round, so
+    tags disambiguate fully.  On the zero-copy transport the sends are
+    rendezvous (the receiver copies straight out of ``sendbuf``), so the
+    posted requests are waited at the end of the round; packed sends
     complete eagerly.
     """
-    mapping = descriptor.plan
-    if not isinstance(mapping, LocalMapping):
-        raise RuntimeError(
-            "DDR_SetupDataMapping must be called before DDR_ReorganizeData"
-        )
-    own = _normalise_own(data_own)
-    own, need = check_buffers_cached(
-        mapping.plan,
-        descriptor.dtype,
-        own,
-        data_need,
-        descriptor.components,
-        mapping.buffer_cache,
-    )
-    zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
-
-    for round_types in mapping.rounds:
-        round_index = round_types.round
-        sendbuf: Optional[np.ndarray] = None
-        if round_types.chunk_index is not None:
-            sendbuf = own[round_types.chunk_index]
-
-        # Self-transfer without touching the mailbox.
-        self_send = round_types.sendtypes[comm.rank]
-        self_recv = round_types.recvtypes[comm.rank]
-        if self_send is not None and self_send.size_elements() > 0:
-            assert sendbuf is not None and need is not None and self_recv is not None
-            if zero_copy and not np.may_share_memory(sendbuf, need):
-                self_send.copy_into(sendbuf, need, self_recv)
-            else:
-                self_recv.unpack(need, self_send.pack(sendbuf))
-
-        requests: list[Request] = []
-        for dest, datatype in enumerate(round_types.sendtypes):
-            if dest == comm.rank or datatype is None or datatype.size_elements() == 0:
-                continue
-            assert sendbuf is not None
-            requests.append(
-                comm.Isend(
-                    sendbuf, dest, tag=round_index, datatype=datatype,
-                    rendezvous=zero_copy,
-                )
-            )
-
-        for source, datatype in enumerate(round_types.recvtypes):
-            if source == comm.rank or datatype is None or datatype.size_elements() == 0:
-                continue
-            assert need is not None
-            comm.Recv(need, source, tag=round_index, datatype=datatype)
-
-        # Rendezvous sends hold the buffer live until the peer has copied;
-        # the round boundary is where that guarantee must be settled.
-        wait_all(requests)
+    mapping = mapping_from_descriptor(descriptor)
+    get_engine("p2p").execute(comm, mapping, data_own, data_need, transport)
 
 
 def message_count_p2p(descriptor: DataDescriptor) -> int:
@@ -102,4 +51,4 @@ def message_count_p2p(descriptor: DataDescriptor) -> int:
     mapping = descriptor.plan
     if not isinstance(mapping, LocalMapping):
         raise RuntimeError("mapping not set up")
-    return sum(1 for s in mapping.plan.sends if s.dest != mapping.rank)
+    return mapping.schedule.message_count

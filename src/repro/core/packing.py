@@ -4,19 +4,20 @@ The paper: "custom subarray types are needed to describe multidimensional
 subsets of data", hence ``MPI_Alltoallw`` rather than ``MPI_Alltoallv``.
 Each :class:`~repro.core.plan.SendEntry` becomes a subarray type *within the
 owned chunk's buffer*; each :class:`~repro.core.plan.RecvEntry` becomes a
-subarray type *within the need buffer*.
+subarray type *within the need buffer* (the lowering itself lives in
+:func:`repro.core.schedule.build_schedule`).  This module also owns the
+buffer-validation layer shared by every execution engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..mpisim.datatypes import NamedType, SubarrayType
 from .box import Box
-from .plan import RankPlan, RecvEntry, SendEntry
+from .plan import RankPlan
 
 
 def subarray_for(
@@ -37,49 +38,6 @@ def subarray_for(
         subsizes = subsizes + (components,)
         starts = starts + (0,)
     return SubarrayType(mpi_type, sizes=sizes, subsizes=subsizes, starts=starts)
-
-
-@dataclass
-class RoundTypes:
-    """Prebuilt datatypes for one ``Alltoallw`` round on one rank."""
-
-    round: int
-    chunk_index: Optional[int]  # which owned buffer feeds this round (None: no send)
-    sendtypes: list[Optional[SubarrayType]]  # one slot per peer rank
-    recvtypes: list[Optional[SubarrayType]]
-
-
-def build_round_types(
-    plan: RankPlan,
-    nprocs: int,
-    nrounds: int,
-    mpi_type: NamedType,
-    components: int = 1,
-) -> list[RoundTypes]:
-    """Materialise the per-round type tables the reorganize step will replay.
-
-    The paper notes the setup runs once and ``DDR_ReorganizeData`` can then
-    be called repeatedly on fresh data; prebuilding the types here is what
-    makes that cheap.
-    """
-    rounds: list[RoundTypes] = []
-    for round_index in range(nrounds):
-        sendtypes: list[Optional[SubarrayType]] = [None] * nprocs
-        recvtypes: list[Optional[SubarrayType]] = [None] * nprocs
-        chunk_index: Optional[int] = (
-            round_index if round_index < len(plan.own_chunks) else None
-        )
-        for entry in plan.sends_in_round(round_index):
-            sendtypes[entry.dest] = subarray_for(
-                entry.chunk, entry.overlap, mpi_type, components
-            )
-        for entry in plan.recvs_in_round(round_index):
-            assert plan.need is not None
-            recvtypes[entry.source] = subarray_for(
-                plan.need, entry.overlap, mpi_type, components
-            )
-        rounds.append(RoundTypes(round_index, chunk_index, sendtypes, recvtypes))
-    return rounds
 
 
 class BufferCache:
@@ -143,6 +101,12 @@ class BufferCache:
         self._signature = signature
         self._own = own
         self._need = need
+
+    def clear(self) -> None:
+        """Drop the cached buffer set (e.g. when its mapping is invalidated)."""
+        self._signature = None
+        self._own = []
+        self._need = None
 
 
 def check_buffers_cached(

@@ -25,11 +25,16 @@ from .box import Box, intersect_many
 class SendEntry:
     """One outgoing transfer: a sub-box of an owned chunk bound for ``dest``."""
 
-    round: int
     dest: int
     chunk_index: int
     chunk: Box
     overlap: Box  # global coordinates; contained in both chunk and dest's need
+
+    @property
+    def round(self) -> int:
+        """Round ``c`` drains chunk slot ``c`` (paper §III-C scheduling rule),
+        so an entry's round *is* its chunk index."""
+        return self.chunk_index
 
 
 @dataclass(frozen=True)
@@ -50,12 +55,36 @@ class RankPlan:
     need: Optional[Box]
     sends: list[SendEntry] = field(default_factory=list)
     recvs: list[RecvEntry] = field(default_factory=list)
+    # Lazy per-round index over sends/recvs.  The schedule builders and the
+    # network models ask for every round of every rank; a linear rescan per
+    # query made that O(rounds x entries).  The index is rebuilt whenever the
+    # entry counts change, which covers the append-then-query lifecycle of
+    # plan construction.
+    _round_index: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _rounds_indexed(
+        self,
+    ) -> tuple[dict[int, list[SendEntry]], dict[int, list[RecvEntry]]]:
+        key = (len(self.sends), len(self.recvs))
+        cached = self._round_index
+        if cached is None or cached[0] != key:
+            sends: dict[int, list[SendEntry]] = {}
+            for entry in self.sends:
+                sends.setdefault(entry.round, []).append(entry)
+            recvs: dict[int, list[RecvEntry]] = {}
+            for entry in self.recvs:
+                recvs.setdefault(entry.round, []).append(entry)
+            cached = (key, sends, recvs)
+            self._round_index = cached
+        return cached[1], cached[2]
 
     def sends_in_round(self, round_index: int) -> list[SendEntry]:
-        return [s for s in self.sends if s.round == round_index]
+        return self._rounds_indexed()[0].get(round_index, [])
 
     def recvs_in_round(self, round_index: int) -> list[RecvEntry]:
-        return [r for r in self.recvs if r.round == round_index]
+        return self._rounds_indexed()[1].get(round_index, [])
 
     def bytes_sent(self, element_size: int, exclude_self: bool = True) -> int:
         return sum(
@@ -204,7 +233,7 @@ def compute_global_plan(
                 dest = active[int(hit)]
                 overlap = Box(tuple(lo[hit]), tuple(extent[hit]))
                 plans[owner].sends.append(
-                    SendEntry(chunk_index, dest, chunk_index, chunk, overlap)
+                    SendEntry(dest, chunk_index, chunk, overlap)
                 )
                 plans[dest].recvs.append(RecvEntry(chunk_index, owner, overlap))
 

@@ -4,32 +4,31 @@ One ``Alltoallw`` per round; round ``c`` drains chunk slot ``c`` on every
 rank.  Because the setup step prebuilt all subarray datatypes, this function
 is safe to call repeatedly on *new data with the same layout* — the paper's
 "dynamic data" property used by the in-transit use case.
+
+This module is the C-style entry point for the collective backend; the
+execution logic itself lives in :class:`repro.core.engine.AlltoallwEngine`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional
 
 import numpy as np
 
 from ..mpisim.comm import Communicator
 from .descriptor import DataDescriptor
+from .engine import Buffers, get_engine, mapping_from_descriptor
 from .mapping import LocalMapping
-from .packing import check_buffers_cached
 
-
-def _normalise_own(data_own: Union[np.ndarray, Sequence[np.ndarray], None]) -> list[np.ndarray]:
-    if data_own is None:
-        return []
-    if isinstance(data_own, np.ndarray):
-        return [data_own]
-    return list(data_own)
+# Back-compat re-export: callers historically imported the buffer normaliser
+# from here.
+from .engine import normalise_own as _normalise_own  # noqa: F401
 
 
 def reorganize_data(
     comm: Communicator,
     descriptor: DataDescriptor,
-    data_own: Union[np.ndarray, Sequence[np.ndarray], None],
+    data_own: Buffers,
     data_need: Optional[np.ndarray],
     transport: Optional[str] = None,
 ) -> None:
@@ -46,38 +45,8 @@ def reorganize_data(
     or ``"zerocopy"`` for this call; ``None`` uses the communicator/process
     default.
     """
-    mapping = descriptor.plan
-    if not isinstance(mapping, LocalMapping):
-        raise RuntimeError(
-            "DDR_SetupDataMapping must be called before DDR_ReorganizeData"
-        )
-    if comm.size != mapping.nprocs or comm.rank != mapping.rank:
-        raise ValueError(
-            f"communicator (rank {comm.rank}/{comm.size}) does not match the "
-            f"mapping (rank {mapping.rank}/{mapping.nprocs})"
-        )
-
-    own = _normalise_own(data_own)
-    own, need = check_buffers_cached(
-        mapping.plan,
-        descriptor.dtype,
-        own,
-        data_need,
-        descriptor.components,
-        mapping.buffer_cache,
-    )
-
-    for round_types in mapping.rounds:
-        sendbuf: Optional[np.ndarray] = None
-        if round_types.chunk_index is not None:
-            sendbuf = own[round_types.chunk_index]
-        comm.Alltoallw(
-            sendbuf,
-            round_types.sendtypes,
-            need,
-            round_types.recvtypes,
-            transport=transport,
-        )
+    mapping = mapping_from_descriptor(descriptor)
+    get_engine("alltoallw").execute(comm, mapping, data_own, data_need, transport)
 
 
 def reorganize_rounds(descriptor: DataDescriptor) -> int:

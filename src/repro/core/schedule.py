@@ -1,0 +1,297 @@
+"""The exchange-schedule IR: one rank's per-round communication lanes.
+
+The planner (:mod:`repro.core.plan`) produces geometric send/recv entries;
+the executors need per-peer datatypes and the network models need per-round
+byte volumes and sparsity statistics.  Previously each consumer re-derived
+its own view by rescanning the plan.  This module builds the shared
+intermediate representation exactly once:
+
+``RankPlan`` -> :func:`build_schedule` -> :class:`ExchangeSchedule`
+(one :class:`RoundSchedule` per round, each a list of :class:`Lane`\\ s)
+
+and every execution engine (:mod:`repro.core.engine`) and both network cost
+models (:mod:`repro.netmodel.analytic`, :mod:`repro.netmodel.desnet`)
+consume it identically.  A lane is (peer, byte volume, optional datatype);
+schedules built for cost modeling omit the datatypes, so the full-scale
+216-rank predictions never materialise subarray types.
+
+The IR also carries the *global* per-round sparsity statistic
+(``max_partners``: the busiest rank's partner count that round) that drives
+the paper's §V future-work idea, made real by ``AutoEngine``: dense rounds
+go through the ``Alltoallw`` collective, sparse rounds through direct
+sends.  Because the statistic comes from the deterministic global plan,
+every rank derives the same per-round decision without communicating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..mpisim.datatypes import NamedType, SubarrayType
+from .packing import subarray_for
+from .plan import GlobalPlan, RankPlan
+
+#: A round whose busiest rank talks to at least this fraction of the other
+#: ranks is considered dense: the O(P) collective amortises better than
+#: per-message handshakes.  Below it, direct sends win (paper §V).
+AUTO_DENSITY_THRESHOLD = 0.5
+
+
+def collective_preferred(
+    max_partners: int, nprocs: int, threshold: float = AUTO_DENSITY_THRESHOLD
+) -> bool:
+    """The auto-selection rule: dense rounds -> collective, sparse -> direct.
+
+    ``max_partners`` must be a *global* per-round statistic (identical on
+    every rank) so that all ranks agree on the wire protocol for the round.
+    """
+    if nprocs <= 1:
+        return False
+    return max_partners >= threshold * (nprocs - 1)
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One point-to-point transfer of one round.
+
+    ``datatype`` selects the moved cells out of the owning buffer (send
+    lanes: the chunk buffer; recv lanes: the need buffer).  It is ``None``
+    for schedules built purely for cost modeling.
+    """
+
+    peer: int
+    nbytes: int
+    datatype: Optional[SubarrayType] = None
+
+
+@dataclass
+class RoundSchedule:
+    """Everything one rank does in one exchange round.
+
+    ``sends``/``recvs`` hold only *remote* lanes, ordered by peer; the
+    self-transfer (data a rank keeps across the redistribution) is split
+    out because every engine handles it as a local copy, never a message.
+    """
+
+    index: int
+    chunk_index: Optional[int]  # which owned buffer feeds this round (None: no send)
+    nprocs: int
+    sends: list[Lane] = field(default_factory=list)
+    recvs: list[Lane] = field(default_factory=list)
+    self_send: Optional[Lane] = None
+    self_recv: Optional[Lane] = None
+    #: Busiest rank's partner count this round, across the *whole* plan
+    #: (0 when the schedule was built without global context).
+    max_partners: int = 0
+    # Dense per-peer tables for the Alltoallw collective, built lazily and
+    # cached: the repeated-exchange hot path must not rebuild them per call.
+    _sendtypes: Optional[list[Optional[SubarrayType]]] = field(
+        default=None, init=False, repr=False
+    )
+    _recvtypes: Optional[list[Optional[SubarrayType]]] = field(
+        default=None, init=False, repr=False
+    )
+
+    # -- sparsity statistics -------------------------------------------------
+
+    @property
+    def partners(self) -> int:
+        """Distinct remote ranks this rank exchanges data with this round."""
+        return len({lane.peer for lane in self.sends} | {lane.peer for lane in self.recvs})
+
+    @property
+    def density(self) -> float:
+        """Partner count as a fraction of the possible ``P - 1`` peers."""
+        if self.nprocs <= 1:
+            return 0.0
+        return self.partners / (self.nprocs - 1)
+
+    @property
+    def bytes_out(self) -> int:
+        """Bytes this rank puts on the network this round (self excluded)."""
+        return sum(lane.nbytes for lane in self.sends)
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(lane.nbytes for lane in self.recvs)
+
+    @property
+    def self_bytes(self) -> int:
+        return self.self_send.nbytes if self.self_send is not None else 0
+
+    @property
+    def message_count(self) -> int:
+        """Messages a direct-send engine posts for this round."""
+        return len(self.sends)
+
+    # -- dense tables for the collective engine ------------------------------
+
+    def sendtypes(self) -> list[Optional[SubarrayType]]:
+        """Per-peer send datatype table (slot ``d`` = lane to rank ``d``)."""
+        if self._sendtypes is None:
+            table: list[Optional[SubarrayType]] = [None] * self.nprocs
+            for lane in self.sends:
+                table[lane.peer] = lane.datatype
+            if self.self_send is not None:
+                table[self.self_send.peer] = self.self_send.datatype
+            self._sendtypes = table
+        return self._sendtypes
+
+    def recvtypes(self) -> list[Optional[SubarrayType]]:
+        """Per-peer recv datatype table (slot ``s`` = lane from rank ``s``)."""
+        if self._recvtypes is None:
+            table: list[Optional[SubarrayType]] = [None] * self.nprocs
+            for lane in self.recvs:
+                table[lane.peer] = lane.datatype
+            if self.self_recv is not None:
+                table[self.self_recv.peer] = self.self_recv.datatype
+            self._recvtypes = table
+        return self._recvtypes
+
+
+@dataclass
+class ExchangeSchedule:
+    """One rank's complete, ready-to-execute exchange schedule."""
+
+    rank: int
+    nprocs: int
+    nrounds: int
+    element_size: int
+    rounds: list[RoundSchedule]
+
+    @property
+    def max_partners(self) -> int:
+        return max((r.partners for r in self.rounds), default=0)
+
+    @property
+    def total_bytes_out(self) -> int:
+        return sum(r.bytes_out for r in self.rounds)
+
+    @property
+    def total_self_bytes(self) -> int:
+        return sum(r.self_bytes for r in self.rounds)
+
+    @property
+    def message_count(self) -> int:
+        return sum(r.message_count for r in self.rounds)
+
+    def engine_choices(
+        self, threshold: float = AUTO_DENSITY_THRESHOLD
+    ) -> list[str]:
+        """Per-round engine the auto rule selects (``alltoallw`` / ``p2p``)."""
+        return [
+            "alltoallw"
+            if collective_preferred(r.max_partners, self.nprocs, threshold)
+            else "p2p"
+            for r in self.rounds
+        ]
+
+
+def build_schedule(
+    plan: RankPlan,
+    nprocs: int,
+    nrounds: int,
+    element_size: int,
+    mpi_type: Optional[NamedType] = None,
+    components: int = 1,
+    round_max_partners: Optional[Sequence[int]] = None,
+) -> ExchangeSchedule:
+    """Lower one rank's plan slice into the exchange IR.
+
+    With ``mpi_type`` given, every lane carries a prebuilt subarray datatype
+    (the execution form — the paper's "setup once, reorganize repeatedly"
+    property hinges on this happening exactly once).  Without it the lanes
+    carry byte volumes only (the cost-model form).  ``round_max_partners``
+    injects the global per-round sparsity statistic; pass it whenever the
+    full :class:`~repro.core.plan.GlobalPlan` is in hand so ``AutoEngine``
+    and the cost models share the same selection inputs.
+    """
+    rounds: list[RoundSchedule] = []
+    for round_index in range(nrounds):
+        chunk_index: Optional[int] = (
+            round_index if round_index < len(plan.own_chunks) else None
+        )
+        rnd = RoundSchedule(
+            index=round_index,
+            chunk_index=chunk_index,
+            nprocs=nprocs,
+            max_partners=(
+                int(round_max_partners[round_index])
+                if round_max_partners is not None
+                else 0
+            ),
+        )
+        for entry in plan.sends_in_round(round_index):
+            datatype = (
+                subarray_for(entry.chunk, entry.overlap, mpi_type, components)
+                if mpi_type is not None
+                else None
+            )
+            lane = Lane(entry.dest, entry.overlap.volume() * element_size, datatype)
+            if entry.dest == plan.rank:
+                rnd.self_send = lane
+            else:
+                rnd.sends.append(lane)
+        for entry in plan.recvs_in_round(round_index):
+            if mpi_type is not None:
+                assert plan.need is not None
+                datatype = subarray_for(plan.need, entry.overlap, mpi_type, components)
+            else:
+                datatype = None
+            lane = Lane(entry.source, entry.overlap.volume() * element_size, datatype)
+            if entry.source == plan.rank:
+                rnd.self_recv = lane
+            else:
+                rnd.recvs.append(lane)
+        rounds.append(rnd)
+    return ExchangeSchedule(
+        rank=plan.rank,
+        nprocs=nprocs,
+        nrounds=nrounds,
+        element_size=element_size,
+        rounds=rounds,
+    )
+
+
+def round_max_partners(global_plan: GlobalPlan) -> list[int]:
+    """Per round, the busiest rank's remote-partner count (plan-wide).
+
+    This is the statistic the auto-selection rule keys on: it is derived
+    from the deterministic global plan, so every rank computes the same
+    values and the per-round engine choice needs no extra communication.
+    """
+    out: list[int] = []
+    for round_index in range(global_plan.nrounds):
+        worst = 0
+        for plan in global_plan.rank_plans:
+            peers = {
+                s.dest for s in plan.sends_in_round(round_index) if s.dest != plan.rank
+            }
+            peers |= {
+                r.source
+                for r in plan.recvs_in_round(round_index)
+                if r.source != plan.rank
+            }
+            worst = max(worst, len(peers))
+        out.append(worst)
+    return out
+
+
+def global_schedules(global_plan: GlobalPlan) -> list[ExchangeSchedule]:
+    """Datatype-free schedules for every rank (the cost-model view).
+
+    The network models iterate lanes instead of rescanning raw plan
+    entries; building all ranks here is one linear pass over the plan.
+    """
+    stats = round_max_partners(global_plan)
+    return [
+        build_schedule(
+            plan,
+            global_plan.nprocs,
+            global_plan.nrounds,
+            global_plan.element_size,
+            round_max_partners=stats,
+        )
+        for plan in global_plan.rank_plans
+    ]

@@ -15,7 +15,7 @@ from typing import Optional
 
 from .box import Box
 from .descriptor import DataDescriptor
-from .mapping import LocalMapping, local_mapping_from_global
+from .mapping import LocalMapping, attach_mapping, local_mapping_from_global
 from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry
 
 FORMAT_VERSION = 1
@@ -68,10 +68,16 @@ def plan_from_dict(data: dict) -> GlobalPlan:
         raise ValueError(f"unsupported plan format version {version!r}")
     rank_plans = []
     for entry in data["ranks"]:
-        sends = [
-            SendEntry(rnd, dest, chunk_index, _box_from_list(chunk), _box_from_list(overlap))
-            for rnd, dest, chunk_index, chunk, overlap in entry["sends"]
-        ]
+        sends = []
+        for rnd, dest, chunk_index, chunk, overlap in entry["sends"]:
+            if rnd != chunk_index:
+                raise ValueError(
+                    f"corrupt plan: send round {rnd} != chunk index {chunk_index} "
+                    "(round c drains chunk slot c)"
+                )
+            sends.append(
+                SendEntry(dest, chunk_index, _box_from_list(chunk), _box_from_list(overlap))
+            )
         recvs = [
             RecvEntry(rnd, source, _box_from_list(overlap))
             for rnd, source, overlap in entry["recvs"]
@@ -124,5 +130,5 @@ def attach_loaded_plan(
             f"{descriptor.element_size}"
         )
     local = local_mapping_from_global(plan, None, rank, descriptor)
-    descriptor.plan = local
+    attach_mapping(descriptor, local)
     return local

@@ -57,10 +57,16 @@ class PipelineConfig:
     keep_frames: bool = False  # retain rendered frames in the result (tests)
     raw_every_frames: Optional[int] = None  # dual-frequency output cadence
     variables: tuple[str, ...] = ("vorticity",)
+    backend: Optional[str] = None  # exchange engine; None = DDR_BACKEND/default
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.output_every < 1:
             raise ValueError("steps and output_every must be >= 1")
+        if self.backend not in (None, "alltoallw", "p2p", "auto"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose 'alltoallw', 'p2p', "
+                "'auto', or None for the process default"
+            )
         if self.steps % self.output_every != 0:
             raise ValueError(
                 f"steps ({self.steps}) must be a multiple of output_every "
@@ -178,7 +184,9 @@ def _run_analysis(
     grid = grid_shape(config.n, (nx, ny))
     need = grid_boxes((nx, ny), grid)[analysis_comm.rank]
 
-    red = Redistributor(analysis_comm, ndims=2, dtype=np.float32)
+    red = Redistributor(
+        analysis_comm, ndims=2, dtype=np.float32, backend=config.backend
+    )
     red.setup(own=receiver.owned_chunks, need=need)  # once; reused per frame
 
     root = 0

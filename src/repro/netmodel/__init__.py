@@ -1,6 +1,14 @@
 """Cluster performance model (calibrated to the paper's Cooley results)."""
 
-from .analytic import ExchangeCost, exchange_cost, point_to_point_cost, round_payloads
+from .analytic import (
+    P2P_PER_MESSAGE_S,
+    EngineCost,
+    ExchangeCost,
+    engine_cost,
+    exchange_cost,
+    point_to_point_cost,
+    round_payloads,
+)
 from .cluster import COOLEY, ClusterSpec
 from .desnet import (
     Flow,
@@ -35,16 +43,19 @@ from .predict import (
 __all__ = [
     "COOLEY",
     "ClusterSpec",
+    "EngineCost",
     "ExchangeCost",
     "FITTED_PARAMETERS",
     "Flow",
     "LoadPrediction",
+    "P2P_PER_MESSAGE_S",
     "PAPER_PROCESS_COUNTS",
     "SweepPoint",
     "TornadoBar",
     "crossover",
     "ddr_plan",
     "default_rank_to_node",
+    "engine_cost",
     "exchange_cost",
     "figure3_series",
     "flows_for_round",

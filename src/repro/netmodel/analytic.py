@@ -1,19 +1,36 @@
-"""Analytic cost model for DDR's Alltoallw exchange.
+"""Analytic cost model for DDR's exchange engines.
 
-Reads the *actual* schedule produced by the planner (rounds, per-round
-payloads, traffic matrix) and converts it into wall time under the
-LogGP-style model in :class:`~repro.netmodel.cluster.ClusterSpec`.  This is
-the model behind the Table II predictions and the Figure 3 scaling curves.
+Reads the *actual* schedule produced by the planner — lowered to the same
+:class:`~repro.core.schedule.ExchangeSchedule` IR the execution engines
+replay — and converts it into wall time under the LogGP-style model in
+:class:`~repro.netmodel.cluster.ClusterSpec`.  This is the model behind the
+Table II predictions and the Figure 3 scaling curves.
+
+Per-engine costs (:func:`engine_cost`) share one per-round vocabulary:
+
+- a *collective* round pays the O(P) posting overhead ``alpha(P)`` plus the
+  busiest rank's payload serialised through its link share;
+- a *direct* round pays a rendezvous handshake per message instead of the
+  collective overhead, plus the same serialisation — the busiest rank again
+  sets the round time.
+
+``alltoallw`` prices every round as collective, ``p2p`` every round as
+direct, and ``auto`` applies the same per-round selection rule the
+``AutoEngine`` executes (:func:`repro.core.schedule.collective_preferred`),
+so predicted and executed engine choices agree by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
+from typing import Optional, Sequence
 
 from ..core.plan import GlobalPlan
+from ..core.schedule import ExchangeSchedule, collective_preferred, global_schedules
 from .cluster import ClusterSpec
+
+#: Modeled cost of one rendezvous handshake on the direct-send path.
+P2P_PER_MESSAGE_S = 5e-6
 
 
 @dataclass(frozen=True)
@@ -31,69 +48,127 @@ class ExchangeCost:
         return self.alpha_s + self.transfer_s + self.self_copy_s
 
 
-def round_payloads(plan: GlobalPlan) -> list[float]:
+@dataclass(frozen=True)
+class EngineCost:
+    """Modeled cost of one redistribution under a specific engine."""
+
+    backend: str
+    rounds: int
+    alpha_s: float  # collective posting overhead (collective rounds only)
+    message_s: float  # rendezvous handshakes (direct rounds only)
+    transfer_s: float  # serialization through the per-process link share
+    self_copy_s: float  # local memcpy of data a rank keeps
+    round_engines: tuple[str, ...]  # per-round protocol actually priced
+
+    @property
+    def total_s(self) -> float:
+        return self.alpha_s + self.message_s + self.transfer_s + self.self_copy_s
+
+
+def round_payloads(
+    plan: GlobalPlan, schedules: Optional[Sequence[ExchangeSchedule]] = None
+) -> list[int]:
     """Max bytes any rank sends (to others) in each round.
 
     The collective completes when the busiest rank drains, so the max —
     not the mean — drives round time.
     """
-    out = []
+    if schedules is None:
+        schedules = global_schedules(plan)
+    return [
+        max((s.rounds[r].bytes_out for s in schedules), default=0)
+        for r in range(plan.nrounds)
+    ]
+
+
+def _self_copy_s(cluster: ClusterSpec, schedules: Sequence[ExchangeSchedule]) -> float:
+    """Worst rank's local memcpy of the data it keeps across all rounds."""
+    self_bytes = max((s.total_self_bytes for s in schedules), default=0)
+    return self_bytes / cluster.memcpy_bw
+
+
+def engine_cost(
+    cluster: ClusterSpec,
+    plan: GlobalPlan,
+    backend: str = "alltoallw",
+    schedules: Optional[Sequence[ExchangeSchedule]] = None,
+) -> EngineCost:
+    """Model one full redistribution under ``backend`` on ``cluster``.
+
+    ``backend`` is ``"alltoallw"``, ``"p2p"``, or ``"auto"`` — the same
+    names :func:`repro.core.engine.get_engine` accepts.
+    """
+    if backend not in ("alltoallw", "p2p", "auto"):
+        raise ValueError(
+            f"unknown backend {backend!r}; choose 'alltoallw', 'p2p', or 'auto'"
+        )
+    if schedules is None:
+        schedules = global_schedules(plan)
+
+    alpha_s = 0.0
+    message_s = 0.0
+    transfer_s = 0.0
+    round_engines: list[str] = []
     for round_index in range(plan.nrounds):
-        worst = 0
-        for rank_plan in plan.rank_plans:
-            sent = sum(
-                entry.overlap.volume()
-                for entry in rank_plan.sends
-                if entry.round == round_index and entry.dest != rank_plan.rank
-            )
-            worst = max(worst, sent)
-        out.append(worst * plan.element_size)
-    return out
+        rounds = [s.rounds[round_index] for s in schedules]
+        if backend == "alltoallw":
+            collective = True
+        elif backend == "p2p":
+            collective = False
+        else:
+            max_partners = max((r.max_partners for r in rounds), default=0)
+            collective = collective_preferred(max_partners, plan.nprocs)
+        round_engines.append("alltoallw" if collective else "p2p")
+
+        if collective:
+            alpha_s += cluster.alpha(plan.nprocs)
+            payload = max((r.bytes_out for r in rounds), default=0)
+            transfer_s += payload / cluster.effective_bw(payload)
+        else:
+            # The busiest rank sets the round time; attribute its handshake
+            # and serialisation shares separately so the sum stays exact.
+            worst_t = 0.0
+            worst_msg = 0.0
+            worst_xfer = 0.0
+            for r in rounds:
+                msg = r.message_count * P2P_PER_MESSAGE_S
+                xfer = r.bytes_out / cluster.effective_bw(r.bytes_out)
+                if msg + xfer > worst_t:
+                    worst_t = msg + xfer
+                    worst_msg = msg
+                    worst_xfer = xfer
+            message_s += worst_msg
+            transfer_s += worst_xfer
+
+    return EngineCost(
+        backend=backend,
+        rounds=plan.nrounds,
+        alpha_s=alpha_s,
+        message_s=message_s,
+        transfer_s=transfer_s,
+        self_copy_s=_self_copy_s(cluster, schedules),
+        round_engines=tuple(round_engines),
+    )
 
 
 def exchange_cost(cluster: ClusterSpec, plan: GlobalPlan) -> ExchangeCost:
-    """Model one full redistribution (all rounds) on ``cluster``."""
-    payloads = round_payloads(plan)
-    alpha_s = cluster.alpha(plan.nprocs) * plan.nrounds
-    transfer_s = sum(m / cluster.effective_bw(m) for m in payloads)
-
-    self_bytes = max(
-        (
-            sum(e.overlap.volume() for e in p.sends if e.dest == p.rank)
-            for p in plan.rank_plans
-        ),
-        default=0,
-    ) * plan.element_size
-    self_copy_s = self_bytes / cluster.memcpy_bw
-
+    """Model one full redistribution (all rounds, ``Alltoallw``) on ``cluster``."""
+    cost = engine_cost(cluster, plan, "alltoallw")
     return ExchangeCost(
-        rounds=plan.nrounds,
-        alpha_s=alpha_s,
-        transfer_s=transfer_s,
-        self_copy_s=self_copy_s,
+        rounds=cost.rounds,
+        alpha_s=cost.alpha_s,
+        transfer_s=cost.transfer_s,
+        self_copy_s=cost.self_copy_s,
         mean_round_payload=plan.mean_bytes_per_chunk_round(),
     )
 
 
 def point_to_point_cost(cluster: ClusterSpec, plan: GlobalPlan) -> float:
-    """Model the direct-send backend (paper future work) for the ablation.
+    """Model the direct-send backend's wire time for the ablation.
 
     Each rank pays a fixed per-message latency per partner instead of the
     collective's O(P) posting overhead, plus the same serialization time.
+    (Wire time only: the self-copy term cancels in backend comparisons.)
     """
-    per_message_s = 5e-6  # rendezvous handshake
-    total = 0.0
-    for round_index in range(plan.nrounds):
-        worst = 0.0
-        for rank_plan in plan.rank_plans:
-            sent = 0
-            messages = 0
-            for entry in rank_plan.sends:
-                if entry.round == round_index and entry.dest != rank_plan.rank:
-                    sent += entry.overlap.volume()
-                    messages += 1
-            bytes_sent = sent * plan.element_size
-            t = messages * per_message_s + bytes_sent / cluster.effective_bw(bytes_sent)
-            worst = max(worst, t)
-        total += worst
-    return total
+    cost = engine_cost(cluster, plan, "p2p")
+    return cost.message_s + cost.transfer_s

@@ -14,10 +14,13 @@ round-robin/consecutive crossover is not an artifact of its functional form.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..core.plan import GlobalPlan
+from ..core.schedule import ExchangeSchedule, collective_preferred, global_schedules
+from .analytic import P2P_PER_MESSAGE_S
 from .cluster import ClusterSpec
 
 
@@ -119,22 +122,24 @@ def flows_for_round(
     plan: GlobalPlan,
     round_index: int,
     rank_to_node: list[int],
+    schedules: Optional[Sequence[ExchangeSchedule]] = None,
 ) -> list[Flow]:
-    """Build the flow set of one Alltoallw round from the planner's schedule.
+    """Build the flow set of one exchange round from the schedule IR.
 
     Transfers between ranks on the same node never touch the NIC and are
-    excluded (they are covered by the analytic model's memcpy term).
+    excluded (they are covered by the analytic model's memcpy term); so are
+    self-transfers, which the IR already splits out of the send lanes.
     """
+    if schedules is None:
+        schedules = global_schedules(plan)
     flows: list[Flow] = []
-    for rank_plan in plan.rank_plans:
-        for entry in rank_plan.sends:
-            if entry.round != round_index or entry.dest == rank_plan.rank:
-                continue
-            src_node = rank_to_node[rank_plan.rank]
-            dst_node = rank_to_node[entry.dest]
+    for schedule in schedules:
+        src_node = rank_to_node[schedule.rank]
+        for lane in schedule.rounds[round_index].sends:
+            dst_node = rank_to_node[lane.peer]
             if src_node == dst_node:
                 continue
-            flows.append(Flow(src_node, dst_node, entry.overlap.volume() * plan.element_size))
+            flows.append(Flow(src_node, dst_node, lane.nbytes))
     return flows
 
 
@@ -142,14 +147,40 @@ def simulate_exchange(
     cluster: ClusterSpec,
     plan: GlobalPlan,
     rank_to_node: list[int] | None = None,
+    engine: str = "alltoallw",
 ) -> float:
-    """Total modeled exchange time: per-round DES transfer + alpha overhead."""
+    """Total modeled exchange time: per-round DES transfer + software overhead.
+
+    The wire transfers are engine-independent (the same bytes move between
+    the same nodes); the engines differ in the per-round software term —
+    ``alpha(P)`` for a collective round, one rendezvous handshake per
+    message (serialised on the busiest rank) for a direct round.  ``engine``
+    is ``"alltoallw"``, ``"p2p"``, or ``"auto"`` (the executed
+    per-round selection rule).
+    """
+    if engine not in ("alltoallw", "p2p", "auto"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'alltoallw', 'p2p', or 'auto'"
+        )
     if rank_to_node is None:
         rank_to_node = default_rank_to_node(plan.nprocs, cluster.procs_per_node)
+    schedules = global_schedules(plan)
     total = 0.0
     for round_index in range(plan.nrounds):
-        flows = flows_for_round(plan, round_index, rank_to_node)
-        total += cluster.alpha(plan.nprocs)
+        rounds = [s.rounds[round_index] for s in schedules]
+        if engine == "alltoallw":
+            collective = True
+        elif engine == "p2p":
+            collective = False
+        else:
+            max_partners = max((r.max_partners for r in rounds), default=0)
+            collective = collective_preferred(max_partners, plan.nprocs)
+        if collective:
+            total += cluster.alpha(plan.nprocs)
+        else:
+            worst_messages = max((r.message_count for r in rounds), default=0)
+            total += worst_messages * P2P_PER_MESSAGE_S
+        flows = flows_for_round(plan, round_index, rank_to_node, schedules)
         if flows:
             total += simulate_flows(flows, cluster.link_bytes_per_s)
     return total

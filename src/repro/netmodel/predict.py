@@ -20,7 +20,7 @@ from ..io.assignment import (
     assigned_images,
 )
 from ..volren.decompose import grid_boxes, grid_shape
-from .analytic import ExchangeCost, exchange_cost
+from .analytic import EngineCost, engine_cost
 from .cluster import COOLEY, ClusterSpec
 from .desnet import simulate_exchange
 from .disk import stack_read_time
@@ -51,7 +51,15 @@ def paper_grid(nprocs: int, stack: StackGeometry) -> tuple[int, int, int]:
     g = round(nprocs ** (1 / 3))
     if g**3 == nprocs:
         return (g, g, g)
-    return grid_shape(nprocs, stack.volume_dims)  # type: ignore[return-value]
+    grid = tuple(int(v) for v in grid_shape(nprocs, stack.volume_dims))
+    # grid_shape returns one factor per volume axis; anything else means the
+    # stack geometry was not the 3-D volume this predictor models.
+    if len(grid) != 3:
+        raise ValueError(
+            f"process grid for {nprocs} ranks over {stack.volume_dims} has "
+            f"{len(grid)} axes, expected 3"
+        )
+    return grid
 
 
 def needed_boxes(nprocs: int, stack: StackGeometry) -> list:
@@ -102,20 +110,26 @@ def predict_ddr(
     strategy: Assignment,
     stack: StackGeometry = PAPER_STACK,
     network: str = "analytic",
+    backend: str = "alltoallw",
 ) -> LoadPrediction:
-    """DDR path: load-balanced reads, then the modeled redistribution."""
+    """DDR path: load-balanced reads, then the modeled redistribution.
+
+    ``backend`` picks the exchange engine being modeled (``"alltoallw"``,
+    ``"p2p"``, or ``"auto"``) — the same names the execution layer accepts,
+    and the same per-round auto-selection rule.
+    """
     images_per_rank = max(
         len(assigned_images(stack, nprocs, rank, strategy)) for rank in range(nprocs)
     )
     read_s = stack_read_time(cluster, images_per_rank, stack.image_bytes, nprocs)
     plan = ddr_plan(nprocs, strategy, stack)
     if network == "des":
-        exchange_s = simulate_exchange(cluster, plan)
+        exchange_s = simulate_exchange(cluster, plan, engine=backend)
         payload = plan.mean_bytes_per_chunk_round()
     elif network == "analytic":
-        cost: ExchangeCost = exchange_cost(cluster, plan)
+        cost: EngineCost = engine_cost(cluster, plan, backend)
         exchange_s = cost.total_s
-        payload = cost.mean_round_payload
+        payload = plan.mean_bytes_per_chunk_round()
     else:
         raise ValueError(f"unknown network model {network!r} (use 'analytic' or 'des')")
     return LoadPrediction(

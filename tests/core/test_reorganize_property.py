@@ -101,7 +101,7 @@ def run_case(ndim: int, nprocs: int, seed: int, backend: str) -> None:
     assert all(spmd(nprocs, fn))
 
 
-@pytest.mark.parametrize("backend", ["alltoallw", "p2p"])
+@pytest.mark.parametrize("backend", ["alltoallw", "p2p", "auto"])
 class TestRedistributionProperty:
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -126,7 +126,7 @@ class TestRedistributionProperty:
 
 
 class TestBackendsAgree:
-    """Both backends must produce identical buffers for the same plan."""
+    """All three engines must produce identical buffers for the same plan."""
 
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -150,16 +150,47 @@ class TestBackendsAgree:
             return red.gather_need(buffers, fill=-1)
 
         out_a = spmd(nprocs, fn, "alltoallw")
-        out_b = spmd(nprocs, fn, "p2p")
-        for a, b in zip(out_a, out_b):
-            assert np.array_equal(a, b)
+        for backend in ("p2p", "auto"):
+            out_b = spmd(nprocs, fn, backend)
+            for a, b in zip(out_a, out_b):
+                assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_identical_output_under_both_transports(self, seed):
+        rng = np.random.default_rng(seed)
+        ndim, nprocs = 2, 4
+        dims = tuple(int(rng.integers(3, 8)) for _ in range(ndim))
+        domain = Box((0,) * ndim, dims)
+        tiles = bisect_tiling(domain, 2 * nprocs, rng)
+        assignment = rng.integers(0, nprocs, size=len(tiles))
+        owns = [[tiles[i] for i in np.nonzero(assignment == r)[0]] for r in range(nprocs)]
+        needs = [random_subbox(domain, rng) for _ in range(nprocs)]
+        reference = global_reference(domain, np.float32)
+
+        def fn(comm, backend, mode):
+            red = Redistributor(
+                comm, ndims=ndim, dtype=np.float32, backend=backend, transport=mode
+            )
+            red.setup(own=owns[comm.rank], need=needs[comm.rank])
+            buffers = [
+                np.ascontiguousarray(extract(reference, domain, c)) for c in owns[comm.rank]
+            ]
+            return red.gather_need(buffers, fill=-1)
+
+        baseline = spmd(nprocs, fn, "alltoallw", TRANSPORT_ZEROCOPY)
+        for backend in ("alltoallw", "p2p", "auto"):
+            for mode in (TRANSPORT_ZEROCOPY, TRANSPORT_PACKED):
+                out = spmd(nprocs, fn, backend, mode)
+                for a, b in zip(baseline, out):
+                    assert np.array_equal(a, b), (backend, mode)
 
 
 class TestTransportsAgree:
     """The property must hold identically under both wire transports."""
 
     @pytest.mark.parametrize("mode", [TRANSPORT_ZEROCOPY, TRANSPORT_PACKED])
-    @pytest.mark.parametrize("backend", ["alltoallw", "p2p"])
+    @pytest.mark.parametrize("backend", ["alltoallw", "p2p", "auto"])
     @pytest.mark.parametrize("seed", [3, 17])
     def test_property_under_transport(self, mode, backend, seed):
         with transport(mode):

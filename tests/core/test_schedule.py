@@ -1,0 +1,151 @@
+"""The exchange-schedule IR: lowering, statistics, and the auto-selection rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    Box,
+    DataDescriptor,
+    DataLayout,
+    build_schedule,
+    collective_preferred,
+    compute_global_plan,
+    global_schedules,
+    round_max_partners,
+)
+from repro.core.mapping import local_mapping_from_global
+
+
+def ring_plan(nprocs: int):
+    """Sparse 1-D pattern: rank r owns cell r, needs cell (r+1) % nprocs."""
+    owns = [[Box((r,), (1,))] for r in range(nprocs)]
+    needs = [Box(((r + 1) % nprocs,), (1,)) for r in range(nprocs)]
+    return compute_global_plan(owns, needs, element_size=4)
+
+
+def dense_plan(nprocs: int):
+    """Dense 1-D pattern: rank r owns cell r, everyone needs all cells."""
+    owns = [[Box((r,), (1,))] for r in range(nprocs)]
+    needs = [Box((0,), (nprocs,)) for _ in range(nprocs)]
+    return compute_global_plan(owns, needs, element_size=4)
+
+
+class TestCollectivePreferred:
+    def test_single_rank_never_collective(self):
+        assert not collective_preferred(0, 1)
+        assert not collective_preferred(5, 1)
+
+    def test_threshold_boundary(self):
+        # 9 ranks: threshold 0.5 * 8 = 4 partners.
+        assert collective_preferred(4, 9)
+        assert not collective_preferred(3, 9)
+
+    def test_custom_threshold(self):
+        assert collective_preferred(1, 9, threshold=0.1)
+        assert not collective_preferred(7, 9, threshold=1.0)
+        assert collective_preferred(8, 9, threshold=1.0)
+
+
+class TestRoundMaxPartners:
+    def test_ring_is_sparse(self):
+        # Each rank sends to one neighbour and receives from the other.
+        plan = ring_plan(6)
+        assert round_max_partners(plan) == [2]
+
+    def test_dense_is_everyone(self):
+        plan = dense_plan(6)
+        assert round_max_partners(plan) == [5]
+
+    def test_statistic_is_rank_independent(self):
+        # Every rank would compute the same values from the same global plan —
+        # the property that lets AutoEngine pick protocols with no negotiation.
+        plan = ring_plan(5)
+        again = round_max_partners(plan)
+        assert again == round_max_partners(plan)
+
+
+class TestBuildSchedule:
+    def test_lanes_and_bytes(self):
+        plan = ring_plan(4)
+        schedules = global_schedules(plan)
+        for rank, schedule in enumerate(schedules):
+            assert schedule.rank == rank
+            assert schedule.nrounds == 1
+            rnd = schedule.rounds[0]
+            # One remote send (to the rank that needs my cell), one remote recv.
+            assert [lane.peer for lane in rnd.sends] == [(rank - 1) % 4]
+            assert [lane.peer for lane in rnd.recvs] == [(rank + 1) % 4]
+            assert rnd.bytes_out == 4
+            assert rnd.bytes_in == 4
+            assert rnd.self_send is None and rnd.self_recv is None
+            assert rnd.partners == 2
+            assert rnd.message_count == 1
+
+    def test_self_lane_split_out(self):
+        # Rank 0 keeps its own cell: the transfer is a self lane, not a message.
+        owns = [[Box((0,), (1,))], [Box((1,), (1,))]]
+        needs = [Box((0,), (2,)), None]
+        plan = compute_global_plan(owns, needs, element_size=8)
+        schedule = global_schedules(plan)[0]
+        rnd = schedule.rounds[0]
+        assert rnd.self_send is not None and rnd.self_send.nbytes == 8
+        assert rnd.sends == []
+        assert [lane.peer for lane in rnd.recvs] == [1]
+        assert rnd.self_bytes == 8
+        assert schedule.total_self_bytes == 8
+
+    def test_cost_model_form_has_no_datatypes(self):
+        plan = dense_plan(3)
+        for schedule in global_schedules(plan):
+            for rnd in schedule.rounds:
+                for lane in rnd.sends + rnd.recvs:
+                    assert lane.datatype is None
+
+    def test_execution_form_has_datatypes(self):
+        plan = dense_plan(3)
+        descriptor = DataDescriptor.create(3, DataLayout.DATA_TYPE_1D, np.float32)
+        mapping = local_mapping_from_global(plan, None, 0, descriptor)
+        rnd = mapping.rounds[0]
+        for lane in rnd.sends + rnd.recvs:
+            assert lane.datatype is not None
+        # Dense per-peer tables include the self lane on the diagonal.
+        assert rnd.sendtypes()[0] is rnd.self_send.datatype
+        assert len(rnd.sendtypes()) == 3 and len(rnd.recvtypes()) == 3
+
+    def test_sendtypes_cached(self):
+        plan = dense_plan(3)
+        descriptor = DataDescriptor.create(3, DataLayout.DATA_TYPE_1D, np.float32)
+        mapping = local_mapping_from_global(plan, None, 1, descriptor)
+        rnd = mapping.rounds[0]
+        assert rnd.sendtypes() is rnd.sendtypes()
+        assert rnd.recvtypes() is rnd.recvtypes()
+
+
+class TestEngineChoices:
+    def test_ring_prefers_p2p(self):
+        plan = ring_plan(6)
+        for schedule in global_schedules(plan):
+            assert schedule.engine_choices() == ["p2p"]
+
+    def test_dense_prefers_alltoallw(self):
+        plan = dense_plan(6)
+        for schedule in global_schedules(plan):
+            assert schedule.engine_choices() == ["alltoallw"]
+
+    def test_mixed_plan_mixes_choices(self):
+        # Rank 0 owns two chunks: a wide one feeding three ranks (dense round)
+        # and a narrow one feeding exactly one rank (sparse round).
+        owns = [[Box((0,), (6,)), Box((6,), (2,))], [], [], []]
+        needs = [Box((r * 2,), (2,)) for r in range(4)]
+        plan = compute_global_plan(owns, needs, element_size=4, ndims=1)
+        assert round_max_partners(plan) == [2, 1]
+        for schedule in global_schedules(plan):
+            assert schedule.engine_choices() == ["alltoallw", "p2p"]
+
+    def test_without_global_stats_defaults_to_p2p(self):
+        # Schedules built from a lone RankPlan carry max_partners == 0.
+        plan = dense_plan(4)
+        schedule = build_schedule(plan.rank_plans[0], 4, 1, 4)
+        assert schedule.rounds[0].max_partners == 0
+        assert schedule.engine_choices() == ["p2p"]

@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core import Box, compute_global_plan
-from repro.netmodel import COOLEY, exchange_cost, point_to_point_cost, round_payloads
+from repro.netmodel import (
+    COOLEY,
+    P2P_PER_MESSAGE_S,
+    engine_cost,
+    exchange_cost,
+    point_to_point_cost,
+    round_payloads,
+)
 
 
 def simple_plan(nprocs=4, n=16, esize=4):
@@ -88,3 +95,46 @@ class TestPointToPointCost:
         needs = [Box((r * 4,), (4,)) for r in range(4)]
         plan = compute_global_plan(owns, needs, 4)
         assert point_to_point_cost(COOLEY, plan) == pytest.approx(0.0)
+
+
+class TestEngineCost:
+    def test_alltoallw_matches_exchange_cost(self):
+        plan = simple_plan(nprocs=8, n=4096)
+        legacy = exchange_cost(COOLEY, plan)
+        cost = engine_cost(COOLEY, plan, "alltoallw")
+        assert cost.total_s == legacy.total_s
+        assert cost.alpha_s == legacy.alpha_s
+        assert cost.transfer_s == legacy.transfer_s
+        assert cost.self_copy_s == legacy.self_copy_s
+        assert cost.message_s == 0.0
+        assert cost.round_engines == ("alltoallw",)
+
+    def test_p2p_matches_point_to_point_cost(self):
+        plan = simple_plan(nprocs=8, n=4096)
+        cost = engine_cost(COOLEY, plan, "p2p")
+        assert cost.message_s + cost.transfer_s == pytest.approx(
+            point_to_point_cost(COOLEY, plan)
+        )
+        assert cost.alpha_s == 0.0
+        assert cost.message_s == pytest.approx(P2P_PER_MESSAGE_S)  # one partner
+        assert cost.round_engines == ("p2p",)
+
+    def test_auto_picks_cheapest_protocol_per_round(self):
+        # Reversal is maximally sparse (one partner per rank): auto must
+        # price it as the direct path, below the collective's.
+        plan = simple_plan(nprocs=8, n=4096)
+        auto = engine_cost(COOLEY, plan, "auto")
+        assert auto.round_engines == ("p2p",)
+        assert auto.total_s <= engine_cost(COOLEY, plan, "alltoallw").total_s
+
+    def test_auto_prices_dense_plan_as_collective(self):
+        owns = [[Box((r,), (1,))] for r in range(8)]
+        needs = [Box((0,), (8,)) for _ in range(8)]
+        plan = compute_global_plan(owns, needs, 4)
+        auto = engine_cost(COOLEY, plan, "auto")
+        assert auto.round_engines == ("alltoallw",)
+        assert auto.total_s == engine_cost(COOLEY, plan, "alltoallw").total_s
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            engine_cost(COOLEY, simple_plan(), "smoke-signals")

@@ -103,3 +103,19 @@ class TestFlowsFromPlan:
         assert t > 0
         # two rounds of alpha at minimum
         assert t >= 2 * COOLEY.alpha(4)
+
+    def test_engine_changes_only_software_overhead(self):
+        # The same bytes cross the same NICs under every engine; only the
+        # per-round software term (alpha vs per-message handshakes) differs.
+        plan = self._plan()
+        a2a = simulate_exchange(COOLEY, plan, engine="alltoallw")
+        p2p = simulate_exchange(COOLEY, plan, engine="p2p")
+        auto = simulate_exchange(COOLEY, plan, engine="auto")
+        assert a2a != p2p
+        assert auto == pytest.approx(min(a2a, p2p), rel=1e-9) or (
+            min(a2a, p2p) <= auto <= max(a2a, p2p)
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_exchange(COOLEY, self._plan(), engine="carrier-pigeon")

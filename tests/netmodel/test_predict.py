@@ -33,6 +33,13 @@ class TestGeometryHelpers:
         grid = paper_grid(12, StackGeometry(400, 400, 400, 1))
         assert grid[0] * grid[1] * grid[2] == 12
 
+    def test_paper_grid_non_cube_is_normalised_3_tuple(self):
+        for nprocs in (2, 10, 12, 30, 100):
+            grid = paper_grid(nprocs, StackGeometry(400, 400, 400, 1))
+            assert isinstance(grid, tuple) and len(grid) == 3
+            assert all(type(axis) is int for axis in grid)
+            assert grid[0] * grid[1] * grid[2] == nprocs
+
     def test_ddr_plan_round_counts(self):
         rr = ddr_plan(8, Assignment.ROUND_ROBIN, SMALL)
         consec = ddr_plan(8, Assignment.CONSECUTIVE, SMALL)
@@ -81,6 +88,37 @@ class TestPredictionsSmall:
     def test_unknown_network_rejected(self):
         with pytest.raises(ValueError):
             predict_ddr(COOLEY, 8, Assignment.CONSECUTIVE, SMALL, network="carrier-pigeon")
+
+    def test_backend_parameter_all_engines(self):
+        # Consecutive assignment at 8 ranks is sparse, so the direct path
+        # must price below the collective, and auto must track the winner.
+        by_backend = {
+            backend: predict_ddr(
+                COOLEY, 8, Assignment.CONSECUTIVE, SMALL, backend=backend
+            )
+            for backend in ("alltoallw", "p2p", "auto")
+        }
+        assert by_backend["p2p"].exchange_s < by_backend["alltoallw"].exchange_s
+        assert by_backend["auto"].exchange_s <= by_backend["alltoallw"].exchange_s
+        # The read phase does not depend on the exchange engine.
+        reads = {p.read_s for p in by_backend.values()}
+        assert len(reads) == 1
+
+    def test_backend_parameter_des_network(self):
+        a2a = predict_ddr(
+            COOLEY, 8, Assignment.CONSECUTIVE, SMALL, network="des", backend="alltoallw"
+        )
+        p2p = predict_ddr(
+            COOLEY, 8, Assignment.CONSECUTIVE, SMALL, network="des", backend="p2p"
+        )
+        assert p2p.exchange_s < a2a.exchange_s
+
+    def test_default_backend_is_alltoallw(self):
+        default = predict_ddr(COOLEY, 8, Assignment.ROUND_ROBIN, SMALL)
+        explicit = predict_ddr(
+            COOLEY, 8, Assignment.ROUND_ROBIN, SMALL, backend="alltoallw"
+        )
+        assert default.exchange_s == explicit.exchange_s
 
 
 PAPER_TABLE2 = {
