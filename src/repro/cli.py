@@ -132,6 +132,75 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_intransit(args: argparse.Namespace) -> None:
+    """Run a small in-transit pipeline (M sim + N analysis ranks)."""
+    from .intransit import PipelineConfig, run_pipeline
+    from .lbm import LbmConfig
+    from .mpisim.executor import run_spmd
+
+    config = PipelineConfig(
+        lbm=LbmConfig(nx=args.nx, ny=args.ny),
+        m=args.m,
+        n=args.n,
+        steps=args.steps,
+        output_every=args.output_every,
+        backend=args.backend,
+    )
+    run_spmd(config.m + config.n, lambda comm: run_pipeline(comm, config))
+
+
+def _trace_redistribute(args: argparse.Namespace) -> None:
+    """Run a bare slab->transpose Redistributor loop on ``n`` ranks."""
+    import numpy as np
+
+    from .core import Box, Redistributor
+    from .mpisim.executor import run_spmd
+
+    nprocs, side, frames = args.n, args.nx, max(1, args.steps // args.output_every)
+    if side % nprocs:
+        raise SystemExit(f"--nx {side} must be a multiple of --n {nprocs}")
+    rows = side // nprocs
+
+    def fn(comm):
+        rank = comm.rank
+        red = Redistributor(comm, ndims=2, dtype=np.float32, backend=args.backend)
+        red.setup(
+            own=[Box((0, rank * rows), (side, rows))],
+            need=Box((rank * rows, 0), (rows, side)),
+        )
+        data = np.full((rows, side), rank, dtype=np.float32)
+        out = np.empty((rows, side), dtype=np.float32)
+        for _ in range(frames):
+            red.exchange([data], out)
+        return True
+
+    run_spmd(nprocs, fn)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, tracing, write_chrome_trace
+
+    demos = {"intransit": _trace_intransit, "redistribute": _trace_redistribute}
+    with tracing() as tracer:
+        demos[args.demo](args)
+    records = tracer.records()
+
+    out = Path(args.out)
+    write_chrome_trace(records, out)
+
+    registry = MetricsRegistry()
+    registry.ingest(records)
+    print(registry.summary(per_rank=args.per_rank))
+    ranks = sorted({r.rank for r in records if r.rank is not None})
+    print()
+    print(
+        f"captured {len(records)} spans across {len(ranks)} ranks -> {out}\n"
+        f"view it at https://ui.perfetto.dev (or chrome://tracing): "
+        f"one process per rank, spans nest as flame graphs"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +242,29 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--side", type=int, default=256,
                     help="square field edge length (default 256)")
     pe.set_defaults(fn=_cmd_engines)
+
+    pt = sub.add_parser(
+        "trace",
+        help="capture a Chrome/Perfetto trace of a demo workload",
+        description="Run a demo under the tracer and export a Chrome "
+        "trace-event JSON (one pid per rank) plus a span summary.",
+    )
+    pt.add_argument("demo", choices=("intransit", "redistribute"),
+                    help="workload to trace")
+    pt.add_argument("--out", default="trace.json", help="output JSON path")
+    pt.add_argument("--backend", choices=("alltoallw", "p2p", "auto"),
+                    default="auto", help="exchange engine (default auto)")
+    pt.add_argument("--m", type=int, default=4, help="simulation ranks (intransit)")
+    pt.add_argument("--n", type=int, default=2,
+                    help="analysis ranks (intransit) / ranks (redistribute)")
+    pt.add_argument("--nx", type=int, default=64, help="field width")
+    pt.add_argument("--ny", type=int, default=32, help="field height (intransit)")
+    pt.add_argument("--steps", type=int, default=20, help="simulation steps")
+    pt.add_argument("--output-every", type=int, default=10,
+                    help="stream cadence in steps (intransit)")
+    pt.add_argument("--per-rank", action="store_true",
+                    help="print the per-rank histogram breakdown")
+    pt.set_defaults(fn=_cmd_trace)
     return parser
 
 

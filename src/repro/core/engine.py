@@ -33,6 +33,7 @@ import numpy as np
 
 from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
 from ..mpisim.request import Request, wait_all
+from ..obs.tracer import TRACER
 from .descriptor import DataDescriptor
 from .mapping import LocalMapping
 from .packing import check_buffers_cached
@@ -93,11 +94,43 @@ class ExchangeEngine:
             mapping.buffer_cache,
         )
         zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
-        for rnd in mapping.rounds:
-            sendbuf: Optional[np.ndarray] = None
-            if rnd.chunk_index is not None:
-                sendbuf = own[rnd.chunk_index]
-            self.run_round(comm, rnd, sendbuf, need, transport, zero_copy)
+        if not TRACER.enabled:
+            for rnd in mapping.rounds:
+                sendbuf: Optional[np.ndarray] = None
+                if rnd.chunk_index is not None:
+                    sendbuf = own[rnd.chunk_index]
+                self.run_round(comm, rnd, sendbuf, need, transport, zero_copy)
+            return
+        # Traced path: one span per exchange, one per round.  The round span
+        # carries the wire protocol actually used (AutoEngine's per-round
+        # decision becomes visible here), lane count, and byte volumes.
+        rank = comm.world_rank_of(comm.rank)
+        with TRACER.span(
+            "ddr.exchange",
+            rank=rank,
+            backend=self.name,
+            rounds=len(mapping.rounds),
+            transport=comm.resolve_transport(transport),
+        ):
+            for rnd in mapping.rounds:
+                traced_sendbuf: Optional[np.ndarray] = None
+                if rnd.chunk_index is not None:
+                    traced_sendbuf = own[rnd.chunk_index]
+                with TRACER.span(
+                    "ddr.round",
+                    rank=rank,
+                    round=rnd.index,
+                    backend=self.round_backend(rnd),
+                    lanes=len(rnd.sends) + len(rnd.recvs),
+                    nbytes=rnd.bytes_out,
+                    bytes_in=rnd.bytes_in,
+                    max_partners=rnd.max_partners,
+                ):
+                    self.run_round(comm, rnd, traced_sendbuf, need, transport, zero_copy)
+
+    def round_backend(self, rnd: RoundSchedule) -> str:
+        """The wire protocol this engine uses for ``rnd`` (trace attribute)."""
+        return self.name
 
     def run_round(
         self,
@@ -216,6 +249,12 @@ class AutoEngine(ExchangeEngine):
             self._collective_round(comm, rnd, sendbuf, need, transport)
         else:
             self._direct_round(comm, rnd, sendbuf, need, zero_copy)
+
+    def round_backend(self, rnd: RoundSchedule) -> str:
+        """Per-round choice — the trace shows which protocol auto selected."""
+        if collective_preferred(rnd.max_partners, rnd.nprocs):
+            return "alltoallw"
+        return "p2p"
 
     @staticmethod
     def choices(mapping: LocalMapping) -> list[str]:

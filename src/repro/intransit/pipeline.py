@@ -22,6 +22,7 @@ from ..jpeg.encoder import encode_rgb
 from ..lbm.distributed import DistributedLbm
 from ..lbm.simulation import LbmConfig
 from ..mpisim.comm import Communicator
+from ..obs.tracer import TRACER
 from ..viz.colormaps import BLUE_WHITE_RED, GRAYSCALE
 from ..viz.image import assemble_tiles, render_scalar_field
 from ..volren.decompose import grid_boxes, grid_shape
@@ -164,10 +165,12 @@ def _run_simulation(
     sim = DistributedLbm(sim_comm, config.lbm)
     sender = StreamSender(world, topology, sim_comm.rank)
     for frame in range(config.n_frames):
-        sim.step(config.output_every)
-        fields = _sim_fields(sim, config.variables)
+        with TRACER.span("phase.sim_step", frame=frame):
+            sim.step(config.output_every)
+            fields = _sim_fields(sim, config.variables)
         for var_index, name in enumerate(config.variables):
-            sender.send_frame(frame, fields[name], var_index)
+            with TRACER.span("phase.stream_send", frame=frame, variable=name):
+                sender.send_frame(frame, fields[name], var_index)
 
 
 def _run_analysis(
@@ -187,7 +190,8 @@ def _run_analysis(
     red = Redistributor(
         analysis_comm, ndims=2, dtype=np.float32, backend=config.backend
     )
-    red.setup(own=receiver.owned_chunks, need=need)  # once; reused per frame
+    with TRACER.span("phase.ddr_setup", backend=red.backend):
+        red.setup(own=receiver.owned_chunks, need=need)  # once; reused per frame
 
     root = 0
     result = PipelineResult(
@@ -202,10 +206,13 @@ def _run_analysis(
             or frame % config.raw_every_frames == 0
         )
         for var_index, name in enumerate(config.variables):
-            slabs = receiver.recv_frame(frame, var_index)
-            red.exchange(slabs, tile_buffer)  # per-frame, per-variable DDR call
+            with TRACER.span("phase.stream_recv", frame=frame, variable=name):
+                slabs = receiver.recv_frame(frame, var_index)
+            with TRACER.span("phase.redistribute", frame=frame, variable=name):
+                red.exchange(slabs, tile_buffer)  # per-frame, per-variable DDR call
 
-            tile_rgb = _render_variable(tile_buffer, name, config)
+            with TRACER.span("phase.render", frame=frame, variable=name):
+                tile_rgb = _render_variable(tile_buffer, name, config)
             # The raw baseline tracks the first (primary) variable only,
             # matching Table IV's "one variable of interest".
             want_raw = var_index == 0 and config.save_raw and is_raw_frame
@@ -215,8 +222,9 @@ def _run_analysis(
             if analysis_comm.rank != root:
                 continue
             assert gathered is not None
-            frame_rgb = assemble_tiles([(o, rgb) for o, rgb, _ in gathered], (ny, nx))
-            blob = encode_rgb(frame_rgb, quality=config.quality)
+            with TRACER.span("phase.encode", frame=frame, variable=name):
+                frame_rgb = assemble_tiles([(o, rgb) for o, rgb, _ in gathered], (ny, nx))
+                blob = encode_rgb(frame_rgb, quality=config.quality)
             result.jpeg_bytes += len(blob)
             result.jpeg_bytes_by_variable[name] = (
                 result.jpeg_bytes_by_variable.get(name, 0) + len(blob)

@@ -24,6 +24,7 @@ from ..core.box import Box
 from ..imaging.stack import TiffStack
 from ..imaging.tiff import read_tiff_info
 from ..mpisim.comm import Communicator
+from ..obs.tracer import TRACER
 from ..utils.timing import StopwatchRegistry
 from ..volren.decompose import grid_boxes
 from .assignment import Assignment, StackGeometry, owned_chunks
@@ -80,7 +81,7 @@ def load_stack_no_ddr(
 
     z0, depth = need.offset[2], need.dims[2]
     planes = []
-    with timers.time("read"):
+    with TRACER.span("phase.read", strategy="no_ddr", slices=depth), timers.time("read"):
         for z in range(z0, z0 + depth):
             image = stack.read_slice(z)  # full decode, mostly discarded
             planes.append(np.ascontiguousarray(_crop(image, need)))
@@ -103,7 +104,7 @@ def load_stack_ddr(
 
     dtype = None
     buffers: list[np.ndarray] = []
-    with timers.time("read"):
+    with TRACER.span("phase.read", strategy=strategy.name.lower()), timers.time("read"):
         for chunk in chunks:
             z0, depth = chunk.offset[2], chunk.dims[2]
             planes = [stack.read_slice(z) for z in range(z0, z0 + depth)]
@@ -114,7 +115,7 @@ def load_stack_ddr(
         probe = stack.read_slice(0)
         dtype = probe.dtype
 
-    with timers.time("exchange"):
+    with TRACER.span("phase.redistribute", backend=backend), timers.time("exchange"):
         red = Redistributor(comm, ndims=3, dtype=dtype, backend=backend)
         red.setup(own=chunks, need=need)
         data = np.empty(need.np_shape(), dtype=dtype)

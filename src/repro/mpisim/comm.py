@@ -39,6 +39,7 @@ from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from ..obs.tracer import TRACER
 from ..utils.timing import TRANSFER_COUNTERS
 from .datatypes import Datatype, named_type_for
 from .errors import AbortError, CommunicatorError, TimeoutError_, TruncationError
@@ -412,6 +413,22 @@ class Communicator:
         if not (0 <= rank < self.size):
             raise CommunicatorError(f"{what} {rank} out of range for size {self.size}")
 
+    # -- tracing hooks -------------------------------------------------------
+    #
+    # Every hook is guarded by a single ``TRACER.enabled`` check before any
+    # span attribute is computed (the TransferCounters discipline), so the
+    # disabled cost on the hot path is one attribute load per operation.
+
+    def _span(self, name: str, **attrs):
+        return TRACER.span(name, rank=self._world_ranks[self._rank], **attrs)
+
+    @staticmethod
+    def _nbytes_of(buf: np.ndarray, datatype: Optional[Datatype]) -> int:
+        if datatype is not None:
+            return datatype.size_elements() * np.asarray(buf).dtype.itemsize
+        arr = np.asarray(buf)
+        return int(arr.size) * arr.dtype.itemsize
+
     # -- point to point -------------------------------------------------------
 
     def Send(
@@ -420,6 +437,20 @@ class Communicator:
         dest: int,
         tag: int = 0,
         datatype: Optional[Datatype] = None,
+    ) -> None:
+        if TRACER.enabled:
+            with self._span(
+                "mpi.Send", peer=dest, tag=tag, nbytes=self._nbytes_of(buf, datatype)
+            ):
+                return self._send(buf, dest, tag, datatype)
+        return self._send(buf, dest, tag, datatype)
+
+    def _send(
+        self,
+        buf: np.ndarray,
+        dest: int,
+        tag: int,
+        datatype: Optional[Datatype],
     ) -> None:
         self._check_rank(dest, "dest")
         if tag < 0:
@@ -444,6 +475,25 @@ class Communicator:
         buffer must stay untouched until the returned request completes —
         standard MPI nonblocking discipline, now actually load-bearing.
         """
+        if TRACER.enabled:
+            with self._span(
+                "mpi.Isend",
+                peer=dest,
+                tag=tag,
+                rendezvous=rendezvous,
+                nbytes=self._nbytes_of(buf, datatype),
+            ):
+                return self._isend(buf, dest, tag, datatype, rendezvous)
+        return self._isend(buf, dest, tag, datatype, rendezvous)
+
+    def _isend(
+        self,
+        buf: np.ndarray,
+        dest: int,
+        tag: int,
+        datatype: Optional[Datatype],
+        rendezvous: bool,
+    ) -> Request:
         if rendezvous and self.resolve_transport() == TRANSPORT_ZEROCOPY:
             handle = self._post_rendezvous(buf, dest, tag, datatype, internal=False)
             if handle is not None:
@@ -464,6 +514,21 @@ class Communicator:
         tag: int = ANY_TAG,
         datatype: Optional[Datatype] = None,
         status: Optional[Status] = None,
+    ) -> Status:
+        if TRACER.enabled:
+            with self._span("mpi.Recv", peer=source, tag=tag) as span:
+                result = self._recv(buf, source, tag, datatype, status)
+                span.set(nbytes=result.count_bytes, source=result.source)
+                return result
+        return self._recv(buf, source, tag, datatype, status)
+
+    def _recv(
+        self,
+        buf: np.ndarray,
+        source: int,
+        tag: int,
+        datatype: Optional[Datatype],
+        status: Optional[Status],
     ) -> Status:
         message = self._consume(self._match(source, tag, internal=False))
         nbytes = _receive_payload(buf, datatype, message)
@@ -511,6 +576,34 @@ class Communicator:
         recvtag: int = ANY_TAG,
         send_datatype: Optional[Datatype] = None,
         recv_datatype: Optional[Datatype] = None,
+    ) -> Status:
+        if TRACER.enabled:
+            with self._span(
+                "mpi.Sendrecv",
+                peer=dest,
+                source=source,
+                tag=sendtag,
+                nbytes=self._nbytes_of(sendbuf, send_datatype),
+            ):
+                return self._sendrecv(
+                    sendbuf, dest, recvbuf, source, sendtag, recvtag,
+                    send_datatype, recv_datatype,
+                )
+        return self._sendrecv(
+            sendbuf, dest, recvbuf, source, sendtag, recvtag,
+            send_datatype, recv_datatype,
+        )
+
+    def _sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        sendtag: int,
+        recvtag: int,
+        send_datatype: Optional[Datatype],
+        recv_datatype: Optional[Datatype],
     ) -> Status:
         # Zero-copy rendezvous: post a live buffer reference, satisfy our
         # receive (which drains the partner's handle and releases them),
@@ -571,6 +664,12 @@ class Communicator:
     # -- collectives ------------------------------------------------------------
 
     def Barrier(self) -> None:
+        if TRACER.enabled:
+            with self._span("mpi.Barrier"):
+                return self._barrier()
+        return self._barrier()
+
+    def _barrier(self) -> None:
         seq = self._next_seq()
         token = np.zeros(1, dtype=np.int8)
         if self._rank == 0:
@@ -875,6 +974,33 @@ class Communicator:
         guarantees its buffer is stable for the whole exchange.  Pass
         ``transport="packed"`` to force the staged baseline for this call.
         """
+        if TRACER.enabled:
+            nbytes = 0
+            if sendbuf is not None:
+                itemsize = np.asarray(sendbuf).dtype.itemsize
+                nbytes = itemsize * sum(
+                    t.size_elements() for t in sendtypes if t is not None
+                )
+            lanes = sum(
+                1 for t in sendtypes if t is not None and t.size_elements() > 0
+            )
+            with self._span(
+                "mpi.Alltoallw",
+                nbytes=nbytes,
+                lanes=lanes,
+                transport=self.resolve_transport(transport),
+            ):
+                return self._alltoallw(sendbuf, sendtypes, recvbuf, recvtypes, transport)
+        return self._alltoallw(sendbuf, sendtypes, recvbuf, recvtypes, transport)
+
+    def _alltoallw(
+        self,
+        sendbuf: Optional[np.ndarray],
+        sendtypes: Sequence[Optional[Datatype]],
+        recvbuf: Optional[np.ndarray],
+        recvtypes: Sequence[Optional[Datatype]],
+        transport: Optional[str],
+    ) -> None:
         if len(sendtypes) != self.size or len(recvtypes) != self.size:
             raise CommunicatorError("Alltoallw requires one datatype slot per rank")
         zero_copy = self.resolve_transport(transport) == TRANSPORT_ZEROCOPY
@@ -953,6 +1079,26 @@ class Communicator:
         rdispls: Sequence[int],
     ) -> None:
         """Vector all-to-all over flat element counts/displacements."""
+        if TRACER.enabled:
+            itemsize = np.asarray(sendbuf).dtype.itemsize
+            with self._span(
+                "mpi.Alltoallv",
+                nbytes=itemsize * int(sum(int(c) for c in sendcounts)),
+            ):
+                return self._alltoallv(
+                    sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls
+                )
+        return self._alltoallv(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+
+    def _alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts: Sequence[int],
+        sdispls: Sequence[int],
+        recvbuf: np.ndarray,
+        recvcounts: Sequence[int],
+        rdispls: Sequence[int],
+    ) -> None:
         if not (
             len(sendcounts) == len(sdispls) == len(recvcounts) == len(rdispls) == self.size
         ):
@@ -1054,6 +1200,12 @@ class Communicator:
         Polls with short waits so a peer failure (fabric abort) or a
         deadlock still surfaces instead of hanging forever.
         """
+        if TRACER.enabled:
+            with self._span("mpi.wait", lanes=len(handles)):
+                return self._await_handles_impl(handles)
+        return self._await_handles_impl(handles)
+
+    def _await_handles_impl(self, handles: Sequence[_ZeroCopyHandle]) -> None:
         deadline = time.monotonic() + self.fabric.deadlock_timeout
         for handle in handles:
             while not handle.done.wait(timeout=0.05):

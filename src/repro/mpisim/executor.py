@@ -4,14 +4,23 @@
 runs in its own thread over a shared :class:`~repro.mpisim.comm.Fabric`; the
 first exception aborts every blocked peer (MPI_Abort semantics) and is
 re-raised to the caller with its rank attached.
+
+The driver never blocks forever on its workers: ranks wedged *inside* the
+fabric are caught by the fabric's own deadlock watchdog, and ranks wedged
+*outside* it (user compute that never returns) are caught by a join
+timeout derived from ``deadlock_timeout``.  The resulting
+:class:`SpmdHangError` names the stuck ranks and — when tracing is on —
+the span stack each one was inside (see :mod:`repro.obs.tracer`).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
+from ..obs.tracer import TRACER
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
 from .errors import AbortError
 
@@ -29,6 +38,17 @@ class RankFailure(Exception):
         return f"rank {self.rank} failed: {self.original!r}"
 
 
+class SpmdHangError(RuntimeError):
+    """Worker threads outlived the join timeout; lists who is stuck where."""
+
+    def __init__(self, stuck: list[int], timeout: float, detail: str) -> None:
+        self.stuck_ranks = stuck
+        super().__init__(
+            f"{len(stuck)} rank(s) still running after {timeout:.1f}s join "
+            f"timeout: {detail}"
+        )
+
+
 def world_communicators(
     nprocs: int, deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT
 ) -> list[Communicator]:
@@ -39,11 +59,27 @@ def world_communicators(
     ]
 
 
+def _stuck_detail(stuck: list[int]) -> str:
+    """Name each stuck rank and, if tracing is on, its open span stack."""
+    active = TRACER.active_spans()
+    parts = []
+    for rank in stuck:
+        spans = active.get(rank)
+        if spans:
+            parts.append(f"rank {rank} in {' > '.join(spans)}")
+        elif TRACER.enabled:
+            parts.append(f"rank {rank} (no open span)")
+        else:
+            parts.append(f"rank {rank} (enable tracing for span context)")
+    return "; ".join(parts)
+
+
 def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
     *args: Any,
     deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
+    join_timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -51,7 +87,18 @@ def run_spmd(
     Returns the per-rank return values, in rank order.  If any rank raises,
     every other rank is aborted and :class:`RankFailure` propagates the
     first failure (by rank order among failures).
+
+    ``join_timeout`` bounds how long the driver waits for worker threads
+    *without observing progress* (a worker finishing renews the window); it
+    defaults to ``deadlock_timeout * 1.5 + 5`` so the fabric's own
+    watchdog, which fires within ``deadlock_timeout`` for any rank blocked
+    in communication, always gets to report first.  A rank wedged outside
+    the fabric — e.g. user compute that never returns — trips the join
+    timeout instead, and :class:`SpmdHangError` reports the stuck ranks
+    with their current trace spans.
     """
+    if join_timeout is None:
+        join_timeout = deadlock_timeout * 1.5 + 5.0
     comms = world_communicators(nprocs, deadlock_timeout)
     fabric = comms[0].fabric
     results: list[Any] = [None] * nprocs
@@ -59,6 +106,7 @@ def run_spmd(
     failures_lock = threading.Lock()
 
     def worker(rank: int) -> None:
+        TRACER.set_thread_rank(rank)
         try:
             results[rank] = fn(comms[rank], *args, **kwargs)
         except AbortError:
@@ -75,8 +123,26 @@ def run_spmd(
     ]
     for thread in threads:
         thread.start()
-    for thread in threads:
-        thread.join()
+
+    # Join with a progress-renewed timeout: as long as at least one rank
+    # finishes per window the wait continues, so long multi-phase runs are
+    # unaffected; only a window with zero completions declares a hang.
+    pending = list(enumerate(threads))
+    while pending:
+        progressed = False
+        deadline = time.monotonic() + join_timeout
+        for rank, thread in list(pending):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if not thread.is_alive():
+                pending.remove((rank, thread))
+                progressed = True
+        if pending and not progressed:
+            stuck = [rank for rank, _ in pending]
+            detail = _stuck_detail(stuck)
+            # Wake any peers blocked on the wedged ranks; the stuck threads
+            # themselves are daemons and cannot be killed, only reported.
+            fabric.abort(SpmdHangError(stuck, join_timeout, detail))
+            raise SpmdHangError(stuck, join_timeout, detail)
 
     if failures:
         first_rank = min(failures)

@@ -1,0 +1,104 @@
+"""Chrome trace-event export: load the result in Perfetto or chrome://tracing.
+
+The Trace Event Format (the JSON ``chrome://tracing`` and
+https://ui.perfetto.dev consume) models a trace as processes (pid) of
+threads (tid) emitting timestamped events.  We map:
+
+* one **pid per rank** (with a ``process_name`` metadata record naming it
+  ``rank N``), plus a final synthetic ``driver`` pid for spans emitted by
+  the main thread outside any rank;
+* complete ("ph": "X") events per span, with microsecond ``ts``/``dur``
+  and the span attributes under ``args`` — nested spans on one thread
+  render as a flame-graph stack;
+* thread idents compressed to small tids per pid, so traces are stable
+  across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from .tracer import SpanRecord
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+
+def _json_safe(value):
+    """Trace args must be JSON-serialisable; numpy scalars sneak in."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    return str(value)
+
+
+def chrome_trace_events(records: Iterable[SpanRecord]) -> list[dict]:
+    """Lower span records into a trace-event list (metadata + "X" events)."""
+    records = list(records)
+    ranks = sorted({r.rank for r in records if r.rank is not None})
+    driver_pid = (max(ranks) + 1) if ranks else 0
+
+    def pid_of(record: SpanRecord) -> int:
+        return record.rank if record.rank is not None else driver_pid
+
+    events: list[dict] = []
+    for rank in ranks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "ts": 0,
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    if any(r.rank is None for r in records):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "ts": 0,
+                "pid": driver_pid,
+                "tid": 0,
+                "args": {"name": "driver"},
+            }
+        )
+
+    # Compress OS thread idents to small per-pid tids.
+    tids: dict[tuple[int, int], int] = {}
+    for record in records:
+        pid = pid_of(record)
+        key = (pid, record.tid)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for k in tids if k[0] == pid)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": record.start_us,
+                "dur": record.dur_us,
+                "pid": pid,
+                "tid": tid,
+                "args": {key: _json_safe(value) for key, value in record.attrs.items()},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    records: Sequence[SpanRecord], path: Union[str, Path]
+) -> dict:
+    """Write the JSON object format (``{"traceEvents": [...]}``); returns it."""
+    trace = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    Path(path).write_text(json.dumps(trace, indent=1) + "\n")
+    return trace

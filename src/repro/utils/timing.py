@@ -105,6 +105,10 @@ class TransferCounters:
         self.bytes_allocated = 0
 
     def count_copy(self, kind: str, nbytes: int) -> None:
+        if kind not in self.copies:
+            raise ValueError(
+                f"unknown copy kind {kind!r}; expected one of {self.KINDS}"
+            )
         with self._lock:
             self.copies[kind] += 1
             self.bytes_copied[kind] += int(nbytes)
@@ -144,17 +148,37 @@ def transfer_counters() -> TransferCounters:
 
 @contextmanager
 def counting_transfers() -> Iterator[TransferCounters]:
-    """Enable transfer accounting within a block (counters reset on entry).
+    """Enable transfer accounting within a block.
+
+    The block starts from zero, and nesting is safe: the prior state
+    (including a surrounding block's accumulated counts) is saved on entry
+    and restored on exit with the inner block's counts folded back in, so
+    an outer ``counting_transfers`` sees everything that happened inside
+    it and keeps its own ``enabled`` flag.
 
     >>> with counting_transfers() as counters:
     ...     pass
     >>> counters.total_copies
     0
     """
-    was_enabled = TRANSFER_COUNTERS.enabled
-    TRANSFER_COUNTERS.reset()
-    TRANSFER_COUNTERS.enabled = True
+    counters = TRANSFER_COUNTERS
+    with counters._lock:
+        prior_enabled = counters.enabled
+        prior = {
+            "copies": dict(counters.copies),
+            "bytes_copied": dict(counters.bytes_copied),
+            "allocations": counters.allocations,
+            "bytes_allocated": counters.bytes_allocated,
+        }
+        counters.reset()  # does not take the lock; safe to call while held
+        counters.enabled = True
     try:
-        yield TRANSFER_COUNTERS
+        yield counters
     finally:
-        TRANSFER_COUNTERS.enabled = was_enabled
+        with counters._lock:
+            counters.enabled = prior_enabled
+            for kind in counters.KINDS:
+                counters.copies[kind] += prior["copies"][kind]
+                counters.bytes_copied[kind] += prior["bytes_copied"][kind]
+            counters.allocations += prior["allocations"]
+            counters.bytes_allocated += prior["bytes_allocated"]

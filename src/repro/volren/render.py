@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.tracer import TRACER
 from ..viz.colormaps import normalize
 from .transfer import TransferFunction
 
@@ -37,6 +38,19 @@ def render_block(
         raise ValueError(f"expected (z, y, x) block, got shape {data.shape}")
     if step < 1:
         raise ValueError(f"step must be >= 1, got {step}")
+    with TRACER.span("phase.render", axis=axis, voxels=int(data.size)):
+        return _render_block(data, tf, axis, vmin, vmax, step, opacity_unit)
+
+
+def _render_block(
+    data: np.ndarray,
+    tf: TransferFunction,
+    axis: str,
+    vmin: float | None,
+    vmax: float | None,
+    step: int,
+    opacity_unit: float,
+) -> np.ndarray:
 
     if axis == "z":
         planes = data[::step]  # iterate z, image is (y, x)

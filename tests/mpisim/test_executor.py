@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -9,10 +11,12 @@ from repro.mpisim import (
     CommunicatorError,
     Fabric,
     RankFailure,
+    SpmdHangError,
     TimeoutError_,
     run_spmd,
     world_communicators,
 )
+from repro.obs import TRACER, tracing
 from tests.conftest import spmd
 
 
@@ -81,6 +85,80 @@ class TestRunSpmd:
     def test_many_ranks(self):
         result = spmd(32, lambda comm: comm.allreduce(1))
         assert result == [32] * 32
+
+
+class TestJoinTimeout:
+    """Regression: run_spmd used to join workers with no timeout, so a rank
+    wedged *outside* the fabric (user compute that never returns) hung the
+    driver forever — the fabric watchdog only covers blocking comm calls."""
+
+    def test_hang_outside_fabric_raises(self):
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 1:
+                release.wait(30.0)  # wedged outside any fabric call
+            return comm.rank
+
+        try:
+            with pytest.raises(SpmdHangError) as excinfo:
+                run_spmd(2, fn, deadlock_timeout=0.2, join_timeout=0.4)
+        finally:
+            release.set()
+        err = excinfo.value
+        assert err.stuck_ranks == [1]
+        assert "rank 1" in str(err)
+        assert "enable tracing for span context" in str(err)
+
+    def test_hang_reports_open_trace_spans(self):
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 0:
+                with TRACER.span("user.load"):
+                    with TRACER.span("user.decode_tile"):
+                        release.wait(30.0)
+            return comm.rank
+
+        try:
+            with tracing(), pytest.raises(SpmdHangError) as excinfo:
+                run_spmd(2, fn, deadlock_timeout=0.2, join_timeout=0.4)
+        finally:
+            release.set()
+        message = str(excinfo.value)
+        assert "rank 0 in user.load > user.decode_tile" in message
+
+    def test_slow_but_progressing_run_is_not_flagged(self):
+        """Total runtime far beyond join_timeout must be fine as long as
+        ranks keep completing: the window renews on every join."""
+
+        def fn(comm):
+            # Ranks finish staggered, one per ~0.15s; each completion renews
+            # the 0.4s window even though the whole run takes ~0.6s.
+            import time
+
+            time.sleep(0.15 * comm.rank)
+            return comm.rank
+
+        assert run_spmd(4, fn, deadlock_timeout=0.2, join_timeout=0.4) == [0, 1, 2, 3]
+
+    def test_hang_releases_peers_blocked_in_fabric(self):
+        """The driver aborts the fabric when it declares a hang, so ranks
+        blocked on the wedged one are woken rather than left to their own
+        watchdog."""
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 1:
+                release.wait(30.0)
+            else:
+                comm.Recv(np.zeros(1), source=1)  # never satisfied
+
+        try:
+            with pytest.raises(SpmdHangError):
+                run_spmd(2, fn, deadlock_timeout=10.0, join_timeout=0.4)
+        finally:
+            release.set()
 
 
 class TestWorldCommunicators:

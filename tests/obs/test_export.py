@@ -1,0 +1,83 @@
+"""Chrome trace-event export: schema validity, pid mapping, JSON safety."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import SpanRecord, chrome_trace_events, write_chrome_trace
+
+
+def record(name="unit.x", rank=0, tid=1, start=0.0, dur=5.0, **attrs):
+    return SpanRecord(
+        name=name, rank=rank, tid=tid, start_us=start, dur_us=dur, attrs=attrs
+    )
+
+
+class TestSchema:
+    def test_complete_events_have_required_fields(self):
+        events = chrome_trace_events([record(nbytes=64)])
+        complete = [e for e in events if e["ph"] == "X"]
+        (event,) = complete
+        assert event["name"] == "unit.x"
+        assert event["cat"] == "unit"
+        assert event["ts"] == 0.0
+        assert event["dur"] == 5.0
+        assert event["pid"] == 0
+        assert event["args"] == {"nbytes": 64}
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            assert key in event
+
+    def test_one_process_name_per_rank_plus_driver(self):
+        events = chrome_trace_events(
+            [record(rank=0), record(rank=2), record(rank=None)]
+        )
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [e["name"] for e in meta] == ["process_name"] * 3
+        names = {e["pid"]: e["args"]["name"] for e in meta}
+        assert names == {0: "rank 0", 2: "rank 2", 3: "driver"}
+        # the synthetic driver pid never collides with a real rank pid
+        assert 3 not in {0, 2}
+
+    def test_thread_idents_compressed_per_pid(self):
+        events = chrome_trace_events(
+            [
+                record(rank=0, tid=140_000_001),
+                record(rank=0, tid=140_000_002),
+                record(rank=1, tid=140_000_003),
+            ]
+        )
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["tid"] for e in complete] == [0, 1, 0]
+
+    def test_numpy_attrs_become_plain_json(self):
+        events = chrome_trace_events(
+            [record(nbytes=np.int64(4096), scale=np.float32(0.5), shape=(2, 3))]
+        )
+        (event,) = [e for e in events if e["ph"] == "X"]
+        args = event["args"]
+        assert args["nbytes"] == 4096 and type(args["nbytes"]) is int
+        assert args["scale"] == 0.5 and type(args["scale"]) is float
+        assert args["shape"] == "(2, 3)"  # non-scalars fall back to str
+        json.dumps(event)  # must not raise
+
+    def test_empty_records(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestWriteChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        trace = write_chrome_trace([record(rank=1), record(rank=None)], out)
+        loaded = json.loads(out.read_text())
+        assert loaded == trace
+        assert loaded["displayTimeUnit"] == "ms"
+        assert isinstance(loaded["traceEvents"], list)
+        phases = {e["ph"] for e in loaded["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_accepts_str_path(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        write_chrome_trace([record()], out)
+        assert json.loads(open(out).read())["traceEvents"]

@@ -1,0 +1,140 @@
+"""Tracer unit tests: nesting, disabled path, scope restore, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_SPAN, TRACER, Tracer, tracing
+from tests.conftest import spmd
+
+
+class TestSpanBasics:
+    def test_records_name_rank_attrs_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("unit.outer", rank=3, color="red"):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "unit.outer"
+        assert record.rank == 3
+        assert record.attrs == {"color": "red"}
+        assert record.dur_us >= 0.0
+        assert record.category == "unit"
+
+    def test_nesting_closes_inner_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("unit.outer"):
+            with tracer.span("unit.inner"):
+                pass
+        names = [r.name for r in tracer.records()]
+        assert names == ["unit.inner", "unit.outer"]
+        inner, outer = tracer.records()
+        assert inner.start_us >= outer.start_us
+        assert inner.dur_us <= outer.dur_us
+
+    def test_set_attaches_mid_span_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("unit.recv") as span:
+            span.set(nbytes=128)
+        (record,) = tracer.records()
+        assert record.attrs["nbytes"] == 128
+
+    def test_clear_resets_records_and_epoch(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("unit.a"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+        with tracer.span("unit.b"):
+            pass
+        (record,) = tracer.records()
+        assert record.start_us >= 0.0
+
+
+class TestDisabled:
+    def test_disabled_span_is_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("unit.x", anything=1) is NULL_SPAN
+        with tracer.span("unit.x") as span:
+            span.set(more=2)
+        assert tracer.records() == []
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False
+
+
+class TestTracingScope:
+    def test_enables_and_restores(self):
+        assert not TRACER.enabled
+        with tracing() as tracer:
+            assert tracer is TRACER
+            assert TRACER.enabled
+        assert not TRACER.enabled
+
+    def test_nested_scopes_restore_outer_state(self):
+        """The save/restore discipline counting_transfers originally broke:
+        an inner scope must not leave the outer scope disabled."""
+        with tracing():
+            with tracing(clear=False):
+                assert TRACER.enabled
+            assert TRACER.enabled  # outer scope still tracing
+            with TRACER.span("unit.after_inner"):
+                pass
+        assert not TRACER.enabled
+        assert "unit.after_inner" in [r.name for r in TRACER.records()]
+
+    def test_clear_false_preserves_prior_records(self):
+        with tracing() as tracer:
+            with tracer.span("unit.first"):
+                pass
+            with tracing(clear=False):
+                with tracer.span("unit.second"):
+                    pass
+            names = {r.name for r in tracer.records()}
+        assert names == {"unit.first", "unit.second"}
+
+
+class TestThreadSafety:
+    def test_spmd_ranks_record_concurrently(self):
+        """Every rank emits nested spans in parallel; nothing is lost and
+        every record lands on its emitting rank."""
+        nprocs, per_rank = 8, 25
+
+        def fn(comm):
+            for i in range(per_rank):
+                with TRACER.span("unit.outer", iteration=i):
+                    with TRACER.span("unit.inner"):
+                        pass
+            return comm.rank
+
+        with tracing() as tracer:
+            spmd(nprocs, fn)
+        records = tracer.records()
+        assert len(records) == nprocs * per_rank * 2
+        by_rank = {}
+        for record in records:
+            assert record.rank is not None  # run_spmd bound the thread rank
+            by_rank.setdefault(record.rank, []).append(record)
+        assert sorted(by_rank) == list(range(nprocs))
+        for rank_records in by_rank.values():
+            assert len(rank_records) == per_rank * 2
+
+    def test_active_spans_reports_open_stack(self):
+        tracer = Tracer(enabled=True)
+        opened = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            tracer.set_thread_rank(7)
+            with tracer.span("unit.outer"):
+                with tracer.span("unit.blocked"):
+                    opened.set()
+                    release.wait(5.0)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert opened.wait(5.0)
+        active = tracer.active_spans()
+        assert active[7] == ["unit.outer", "unit.blocked"]
+        release.set()
+        thread.join(5.0)
+        assert tracer.active_spans() == {}

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,54 @@ class TestExecution:
         assert main(["table4", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Table IV" in out
+
+
+class TestTrace:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "intransit"])
+        assert args.demo == "intransit"
+        assert args.out == "trace.json"
+        assert args.backend == "auto"
+
+    def test_trace_intransit_writes_perfetto_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "intransit", "--out", str(out),
+                    "--nx", "32", "--ny", "16", "--steps", "10",
+                    "--output-every", "10",
+                ]
+            )
+            == 0
+        )
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        # one process_name per rank (4 sim + 2 analysis)
+        meta = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {e["args"]["name"] for e in meta} >= {f"rank {r}" for r in range(6)}
+        rounds = [e for e in events if e["ph"] == "X" and e["name"] == "ddr.round"]
+        assert rounds
+        assert all(e["args"]["backend"] in ("alltoallw", "p2p") for e in rounds)
+        stdout = capsys.readouterr().out
+        assert "ddr.round" in stdout  # summary table printed
+        assert "perfetto" in stdout
+
+    def test_trace_redistribute_smoke(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "redistribute", "--out", str(out),
+                    "--backend", "p2p", "--n", "2", "--nx", "16",
+                ]
+            )
+            == 0
+        )
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(
+            e["ph"] == "X" and e["name"] == "ddr.exchange"
+            and e["args"]["backend"] == "p2p"
+            for e in events
+        )
+        assert "captured" in capsys.readouterr().out

@@ -13,6 +13,7 @@ from repro.utils import (
     StopwatchRegistry,
     Timer,
     as_contiguous,
+    counting_transfers,
     dtype_size,
     flat_view,
     fmt_bytes,
@@ -20,6 +21,12 @@ from repro.utils import (
     fmt_seconds,
     gbit_per_s,
     mb,
+    transfer_counters,
+)
+from repro.utils.log import (
+    _ROOT_NAME,
+    disable_console_logging,
+    enable_console_logging,
 )
 
 
@@ -96,3 +103,74 @@ class TestArrays:
         a = np.zeros((4, 4))[:, ::2]
         with pytest.raises(ValueError):
             flat_view(a)
+
+
+class TestConsoleLogging:
+    """Regression: enable_console_logging used to stack a fresh StreamHandler
+    per call, duplicating every log line."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_handler(self):
+        import logging
+
+        disable_console_logging()
+        yield
+        disable_console_logging()
+        logging.getLogger(_ROOT_NAME).setLevel(logging.NOTSET)
+
+    def _console_handlers(self):
+        import logging
+
+        root = logging.getLogger(_ROOT_NAME)
+        return [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+
+    def test_repeat_calls_attach_one_handler(self):
+        import logging
+
+        enable_console_logging()
+        enable_console_logging()
+        enable_console_logging(logging.DEBUG)
+        assert len(self._console_handlers()) == 1
+        assert logging.getLogger(_ROOT_NAME).level == logging.DEBUG
+
+    def test_disable_then_enable_reattaches(self):
+        enable_console_logging()
+        disable_console_logging()
+        assert self._console_handlers() == []
+        enable_console_logging()
+        assert len(self._console_handlers()) == 1
+
+
+class TestTransferCounters:
+    def test_count_copy_rejects_unknown_kind(self):
+        counters = transfer_counters()
+        with pytest.raises(ValueError, match="unknown copy kind 'teleport'"):
+            counters.count_copy("teleport", 10)
+
+    def test_nested_counting_preserves_outer_accounting(self):
+        """Regression: the inner block's reset used to wipe the outer block's
+        counts and its exit left accounting disabled for the rest of the
+        outer block."""
+        counters = transfer_counters()
+        with counting_transfers() as outer:
+            outer.count_copy("pack", 100)
+            with counting_transfers() as inner:
+                assert inner.total_copies == 0  # inner block starts from zero
+                inner.count_copy("pack", 30)
+                assert inner.copies["pack"] == 1
+            assert counters.enabled  # outer block is still counting...
+            counters.count_copy("unpack", 5)
+            # ...and sees its own pre-nesting counts plus the inner block's.
+            assert outer.copies["pack"] == 2
+            assert outer.bytes_copied["pack"] == 130
+            assert outer.copies["unpack"] == 1
+        assert not counters.enabled
+
+    def test_nested_counting_restores_enabled_state(self):
+        counters = transfer_counters()
+        assert not counters.enabled
+        with counting_transfers():
+            with counting_transfers():
+                pass
+            assert counters.enabled
+        assert not counters.enabled
