@@ -10,7 +10,9 @@ Public surface:
   with in-transit visualization (``repro.lbm``, ``repro.intransit``,
   ``repro.viz``, ``repro.jpeg``),
 * the Cooley cluster performance model used to regenerate the paper's
-  timing results (``repro.netmodel``), and
+  timing results (``repro.netmodel``),
+* the fault-injection fabric and self-healing machinery
+  (``repro.faults``), and
 * the benchmark harnesses that print each paper table/figure
   (``repro.bench``).
 """
@@ -27,6 +29,13 @@ from .core import (
     DataLayout,
     Redistributor,
 )
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    ReliabilityPolicy,
+    fault_plan,
+    install_fault_plan,
+)
 
 __version__ = "1.0.0"
 
@@ -40,6 +49,11 @@ __all__ = [
     "DDR_SetupDataMapping",
     "DataDescriptor",
     "DataLayout",
+    "FaultPlan",
+    "FaultSpec",
     "Redistributor",
+    "ReliabilityPolicy",
     "__version__",
+    "fault_plan",
+    "install_fault_plan",
 ]

@@ -201,6 +201,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        runs=args.runs,
+        ops=args.ops,
+        nprocs=args.nprocs,
+        log=None if args.quiet else print,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--per-rank", action="store_true",
                     help="print the per-rank histogram breakdown")
     pt.set_defaults(fn=_cmd_trace)
+
+    pc = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection sweep (self-healing gate)",
+        description="Run seeded random fault schedules against every "
+        "engine x transport combination (plus in-transit pipeline runs) "
+        "and require bitwise-correct output or a clean typed error; hangs, "
+        "bare exceptions, and silent corruption fail.  Exit 0 iff all "
+        "runs pass.",
+    )
+    pc.add_argument("--seed", type=int, default=0, help="base plan seed")
+    pc.add_argument("--runs", type=int, default=50,
+                    help="number of randomized schedules (default 50)")
+    pc.add_argument("--ops", type=int, default=200,
+                    help="fault-injection horizon in transport ops per rank")
+    pc.add_argument("--nprocs", type=int, default=4,
+                    help="ranks per run (default 4)")
+    pc.add_argument("--quiet", action="store_true",
+                    help="suppress the per-run log lines")
+    pc.set_defaults(fn=_cmd_chaos)
     return parser
 
 

@@ -20,6 +20,7 @@ from .engine import (
     AlltoallwEngine,
     AutoEngine,
     ExchangeEngine,
+    ExchangeProgress,
     P2PEngine,
     default_backend,
     get_engine,
@@ -67,6 +68,7 @@ __all__ = [
     "DataDescriptor",
     "DataLayout",
     "ExchangeEngine",
+    "ExchangeProgress",
     "ExchangeSchedule",
     "GhostExchanger",
     "GlobalPlan",

@@ -20,11 +20,12 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..faults.policy import ReliabilityPolicy
 from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
 from ..mpisim.datatypes import NamedType
 from .box import Box, boxes_from_flat
 from .descriptor import DataDescriptor, DataLayout
-from .engine import default_backend, get_engine
+from .engine import ExchangeProgress, default_backend, get_engine
 from .mapping import LocalMapping, setup_data_mapping
 from .reorganize import reorganize_data
 
@@ -119,6 +120,11 @@ class Redistributor:
     sender's live buffer), ``"packed"`` (classic pack -> payload -> unpack),
     or ``None`` to follow the communicator/process default.
 
+    ``reliability`` configures the self-healing machinery (round retry
+    budget, backoff, corruption handling, per-op deadlines) for every
+    exchange this instance performs; ``None`` follows the installed fault
+    layer's policy (default :class:`~repro.faults.ReliabilityPolicy`).
+
     A ``Redistributor`` may hold several live mappings at once: ``setup()``
     replaces (and invalidates) the *active* mapping, while
     ``new_mapping()`` returns an independent handle that stays valid and
@@ -134,6 +140,7 @@ class Redistributor:
         backend: Optional[str] = None,
         components: int = 1,
         transport: Optional[str] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
     ) -> None:
         self.comm = comm
         self.descriptor = DataDescriptor.create(
@@ -141,6 +148,7 @@ class Redistributor:
         )
         self.set_backend(default_backend() if backend is None else backend)
         self.set_transport(transport)
+        self.set_reliability(reliability)
 
     def set_backend(self, backend: str) -> None:
         self._engine = get_engine(backend)
@@ -152,6 +160,14 @@ class Redistributor:
                 f"unknown transport {transport!r} (use 'zerocopy', 'packed', or None)"
             )
         self.transport = transport
+
+    def set_reliability(self, reliability: Optional[ReliabilityPolicy]) -> None:
+        if reliability is not None and not isinstance(reliability, ReliabilityPolicy):
+            raise TypeError(
+                f"reliability must be a ReliabilityPolicy or None, got "
+                f"{type(reliability).__name__}"
+            )
+        self.reliability = reliability
 
     def setup(
         self,
@@ -198,18 +214,24 @@ class Redistributor:
         own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
         need_buffer: Optional[np.ndarray],
         mapping: Optional[LocalMapping] = None,
-    ) -> None:
+        progress: Optional[ExchangeProgress] = None,
+    ) -> ExchangeProgress:
         """Redistribute one generation of data through the prepared mapping.
 
         ``mapping`` defaults to the active one; pass a handle from
         ``new_mapping()`` to exchange through an alternative layout.
+        Returns the exchange's :class:`~repro.core.engine.ExchangeProgress`;
+        after a failure, pass it back as ``progress`` to resume without
+        re-running the rounds that already completed.
         """
-        self._engine.execute(
+        return self._engine.execute(
             self.comm,
             self.mapping if mapping is None else mapping,
             own_buffers,
             need_buffer,
             transport=self.transport,
+            reliability=self.reliability,
+            progress=progress,
         )
 
     def engine_choices(self, mapping: Optional[LocalMapping] = None) -> list[str]:

@@ -20,18 +20,28 @@ differ only in how a round's lanes hit the network:
 
 The base class owns everything the engines share: staleness/communicator
 validation, buffer normalisation and cached validation, transport
-resolution, and the per-round send-buffer selection.  This file is the
-*only* place that logic lives.
+resolution, the per-round send-buffer selection, and — new with the fault
+fabric — the reliability loop: every round runs through a retry harness
+that consults the installed fault layer at round *entry* (before any
+message is posted, so a local retry never desynchronises collective
+matching), backs off per the :class:`~repro.faults.ReliabilityPolicy`, and
+records completed rounds in an :class:`ExchangeProgress` so a failed
+exchange can be resumed without re-running finished rounds.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..faults.injector import FAULTS
+from ..faults.policy import ReliabilityPolicy
 from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.errors import RetriesExhaustedError, TransientFaultError
 from ..mpisim.request import Request, wait_all
 from ..obs.tracer import TRACER
 from .descriptor import DataDescriptor
@@ -43,6 +53,35 @@ from .schedule import RoundSchedule, collective_preferred
 ENV_BACKEND = "DDR_BACKEND"
 
 Buffers = Union[np.ndarray, Sequence[np.ndarray], None]
+
+
+@dataclass
+class ExchangeProgress:
+    """Resumable record of one exchange: which rounds finished, what retried.
+
+    ``execute`` returns one of these; passing it back in after a failure
+    resumes the exchange, skipping every round already in ``completed``.
+    Skipping is safe because a round is recorded only after *this rank*
+    finished all its sends and receives for the round, and round faults are
+    injected strictly at round entry — a recorded round left no partner
+    half-served.
+    """
+
+    #: Round indices this rank has fully completed.
+    completed: set[int] = field(default_factory=set)
+    #: round index -> number of entry retries it took to get through.
+    retries: dict[int, int] = field(default_factory=dict)
+    #: Tag epoch this exchange's direct-round messages are stamped with.
+    #: Assigned on the first ``execute`` call and *reused* on resume, so
+    #: messages already in flight from the failed attempt still match.
+    tag_epoch: Optional[int] = None
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def record_retry(self, round_index: int) -> None:
+        self.retries[round_index] = self.retries.get(round_index, 0) + 1
 
 
 def normalise_own(data_own: Buffers) -> list[np.ndarray]:
@@ -76,13 +115,21 @@ class ExchangeEngine:
         data_own: Buffers,
         data_need: Optional[np.ndarray],
         transport: Optional[str] = None,
-    ) -> None:
+        reliability: Optional[ReliabilityPolicy] = None,
+        progress: Optional[ExchangeProgress] = None,
+    ) -> ExchangeProgress:
         """Redistribute: fill ``data_need`` from everyone's ``data_own``.
 
         Collective over ``comm`` — every rank must call with the same
         engine and transport.  Repeat calls with the same arrays skip
         buffer revalidation (the mapping caches the accepted set) and, on
         the zero-copy transport, allocate no staging arrays at all.
+
+        ``reliability`` configures the round retry harness (defaults to the
+        installed fault layer's policy, else ``ReliabilityPolicy()``).
+        ``progress`` resumes a previously failed exchange: rounds already
+        in ``progress.completed`` are skipped.  The (possibly fresh)
+        progress record is returned, fully populated on success.
         """
         mapping.check_usable(comm)
         own, need = check_buffers_cached(
@@ -94,25 +141,40 @@ class ExchangeEngine:
             mapping.buffer_cache,
         )
         zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
+        policy = reliability if reliability is not None else FAULTS.policy
+        if progress is None:
+            progress = ExchangeProgress()
+        if progress.tag_epoch is None:
+            progress.tag_epoch = mapping.next_tag_epoch()
+        nrounds = max(1, len(mapping.rounds))
+        rank = comm.world_rank_of(comm.rank)
         if not TRACER.enabled:
             for rnd in mapping.rounds:
+                if rnd.index in progress.completed:
+                    continue
                 sendbuf: Optional[np.ndarray] = None
                 if rnd.chunk_index is not None:
                     sendbuf = own[rnd.chunk_index]
-                self.run_round(comm, rnd, sendbuf, need, transport, zero_copy)
-            return
+                self._run_round_reliable(
+                    comm, rnd, sendbuf, need, transport, zero_copy,
+                    rank, policy, progress,
+                    progress.tag_epoch * nrounds + rnd.index,
+                )
+            return progress
         # Traced path: one span per exchange, one per round.  The round span
         # carries the wire protocol actually used (AutoEngine's per-round
         # decision becomes visible here), lane count, and byte volumes.
-        rank = comm.world_rank_of(comm.rank)
         with TRACER.span(
             "ddr.exchange",
             rank=rank,
             backend=self.name,
             rounds=len(mapping.rounds),
             transport=comm.resolve_transport(transport),
+            resumed=len(progress.completed),
         ):
             for rnd in mapping.rounds:
+                if rnd.index in progress.completed:
+                    continue
                 traced_sendbuf: Optional[np.ndarray] = None
                 if rnd.chunk_index is not None:
                     traced_sendbuf = own[rnd.chunk_index]
@@ -126,7 +188,62 @@ class ExchangeEngine:
                     bytes_in=rnd.bytes_in,
                     max_partners=rnd.max_partners,
                 ):
-                    self.run_round(comm, rnd, traced_sendbuf, need, transport, zero_copy)
+                    self._run_round_reliable(
+                        comm, rnd, traced_sendbuf, need, transport, zero_copy,
+                        rank, policy, progress,
+                        progress.tag_epoch * nrounds + rnd.index,
+                    )
+        return progress
+
+    def _run_round_reliable(
+        self,
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        transport: Optional[str],
+        zero_copy: bool,
+        rank: int,
+        policy: ReliabilityPolicy,
+        progress: ExchangeProgress,
+        tag: int,
+    ) -> None:
+        """One round through the retry harness; records completion.
+
+        Round-entry faults (:class:`TransientFaultError` from the fault
+        layer's ``on_round_start`` hook) fire before any message of the
+        round is posted, so retrying here is purely local: peers never see
+        a half-executed attempt and collective matching stays aligned.
+        Failures *inside* a round (timeouts, corruption, crashes) are not
+        collectively safe to retry and propagate unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                if FAULTS.active:
+                    FAULTS.on_round_start(rank, rnd.index, attempt)
+                self.run_round(comm, rnd, sendbuf, need, transport, zero_copy, tag)
+            except TransientFaultError as exc:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise RetriesExhaustedError(
+                        f"rank {rank} round {rnd.index}: still failing after "
+                        f"{policy.max_retries} retries: {exc}"
+                    ) from exc
+                progress.record_retry(rnd.index)
+                backoff = policy.backoff_s(attempt)
+                if TRACER.enabled:
+                    with TRACER.span(
+                        "fault.round_retry",
+                        rank=rank, round=rnd.index,
+                        attempt=attempt, backoff_s=backoff,
+                    ):
+                        time.sleep(backoff)
+                else:
+                    time.sleep(backoff)
+            else:
+                progress.completed.add(rnd.index)
+                return
 
     def round_backend(self, rnd: RoundSchedule) -> str:
         """The wire protocol this engine uses for ``rnd`` (trace attribute)."""
@@ -140,6 +257,7 @@ class ExchangeEngine:
         need: Optional[np.ndarray],
         transport: Optional[str],
         zero_copy: bool,
+        tag: Optional[int] = None,
     ) -> None:
         raise NotImplementedError
 
@@ -181,21 +299,27 @@ class ExchangeEngine:
         sendbuf: Optional[np.ndarray],
         need: Optional[np.ndarray],
         zero_copy: bool,
+        tag: Optional[int] = None,
     ) -> None:
         # Self-transfer first, without touching the mailbox.
         cls._self_copy(rnd, sendbuf, need, zero_copy)
 
+        if tag is None:
+            tag = rnd.index
+
         # Every receive is posted before any send: a (source, round) pair
         # carries at most one message (a source drains at most one chunk per
-        # round), so the round-index tag disambiguates fully and no rank
-        # blocks on arrival order.
+        # round) and the tag is unique per (exchange epoch, round), so
+        # matching is exact across repeated exchanges through the same
+        # mapping — a message lost from one exchange can never be satisfied
+        # by the next one's — and no rank blocks on arrival order.
         recv_requests: list[Request] = []
         for lane in rnd.recvs:
             if lane.datatype is None or lane.datatype.size_elements() == 0:
                 continue
             assert need is not None
             recv_requests.append(
-                comm.Irecv(need, lane.peer, tag=rnd.index, datatype=lane.datatype)
+                comm.Irecv(need, lane.peer, tag=tag, datatype=lane.datatype)
             )
 
         send_requests: list[Request] = []
@@ -205,7 +329,7 @@ class ExchangeEngine:
             assert sendbuf is not None
             send_requests.append(
                 comm.Isend(
-                    sendbuf, lane.peer, tag=rnd.index, datatype=lane.datatype,
+                    sendbuf, lane.peer, tag=tag, datatype=lane.datatype,
                     rendezvous=zero_copy,
                 )
             )
@@ -221,7 +345,7 @@ class AlltoallwEngine(ExchangeEngine):
 
     name = "alltoallw"
 
-    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
         self._collective_round(comm, rnd, sendbuf, need, transport)
 
 
@@ -230,8 +354,8 @@ class P2PEngine(ExchangeEngine):
 
     name = "p2p"
 
-    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
-        self._direct_round(comm, rnd, sendbuf, need, zero_copy)
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
+        self._direct_round(comm, rnd, sendbuf, need, zero_copy, tag)
 
 
 class AutoEngine(ExchangeEngine):
@@ -244,11 +368,11 @@ class AutoEngine(ExchangeEngine):
 
     name = "auto"
 
-    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy) -> None:
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
         if collective_preferred(rnd.max_partners, rnd.nprocs):
             self._collective_round(comm, rnd, sendbuf, need, transport)
         else:
-            self._direct_round(comm, rnd, sendbuf, need, zero_copy)
+            self._direct_round(comm, rnd, sendbuf, need, zero_copy, tag)
 
     def round_backend(self, rnd: RoundSchedule) -> str:
         """Per-round choice — the trace shows which protocol auto selected."""

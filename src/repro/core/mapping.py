@@ -66,6 +66,16 @@ class LocalMapping:
     buffer_cache: BufferCache = field(default_factory=BufferCache)
     pool: StagingPool = field(default_factory=StagingPool)
     _stale: bool = field(default=False, init=False, repr=False)
+    #: Monotonic exchange counter; advances in lockstep on every rank
+    #: (``execute`` is collective), giving each exchange a unique tag epoch
+    #: so a message lost from one exchange can never satisfy a receive of a
+    #: later one (see ``ExchangeEngine._round_tag``).
+    _tag_epoch: int = field(default=0, init=False, repr=False)
+
+    def next_tag_epoch(self) -> int:
+        epoch = self._tag_epoch
+        self._tag_epoch = epoch + 1
+        return epoch
 
     @property
     def own_chunks(self) -> list[Box]:

@@ -1,0 +1,282 @@
+"""Chaos harness: randomized fault schedules against the full stack.
+
+Each run draws a seeded :class:`~repro.faults.plan.FaultPlan`, installs it,
+and drives a real workload — a slab-to-tile redistribution cycled across
+every engine × transport combination, with an in-transit pipeline run mixed
+in — then demands one of exactly two outcomes:
+
+* **bitwise-correct output** (the self-healing machinery absorbed every
+  fault; degraded pipeline frames are counted, not failed), or
+* **a clean, typed error** (an :class:`~repro.mpisim.errors.MpiSimError`
+  subclass naming what gave up — crash, exhausted retries, unhealable
+  corruption, or a per-op deadline on a dropped message).
+
+A hang (:class:`~repro.mpisim.executor.SpmdHangError`), a bare untyped
+exception, or silently wrong output fails the run.  ``python -m repro
+chaos`` drives this from the command line and CI.
+
+This module imports the whole runtime and is therefore *not* re-exported
+from :mod:`repro.faults` (the transport imports that package at module
+level).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import Redistributor
+from ..core.box import Box
+from ..intransit.pipeline import PipelineConfig, run_pipeline
+from ..lbm.decompose import slab_box
+from ..lbm.simulation import LbmConfig
+from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.errors import MpiSimError
+from ..mpisim.executor import RankFailure, SpmdHangError, run_spmd
+from ..volren.decompose import grid_boxes, grid_shape
+from .injector import FAULTS, fault_plan
+from .plan import FaultPlan
+from .policy import ReliabilityPolicy
+
+__all__ = ["ChaosReport", "ChaosRun", "run_chaos"]
+
+BACKENDS = ("alltoallw", "p2p", "auto")
+TRANSPORTS = (TRANSPORT_PACKED, TRANSPORT_ZEROCOPY)
+
+#: Outcome labels.
+OK = "ok"  # bitwise-correct output, all faults absorbed
+DEGRADED = "degraded"  # pipeline completed by dropping/staling frames
+TYPED_ERROR = "typed-error"  # a clean MpiSimError subclass surfaced
+FAILED = "failed"  # hang, bare exception, or silent corruption
+
+#: Every ``PIPELINE_EVERY``-th run drives the in-transit pipeline instead
+#: of the plain redistribution workload.
+PIPELINE_EVERY = 5
+
+#: Watchdog budget for one chaos run: short enough that a hang fails fast,
+#: long enough that injected delays and backoff never trip it spuriously.
+DEADLOCK_TIMEOUT_S = 8.0
+
+#: Default recovery policy for chaos runs: a tight per-op deadline so a
+#: dropped message surfaces in under a second, and short backoffs so a
+#: 50-run sweep stays fast.
+CHAOS_POLICY = ReliabilityPolicy(
+    max_retries=3,
+    backoff_base_s=0.0005,
+    backoff_cap_s=0.005,
+    op_deadline_s=1.0,
+    frame_deadline_s=0.5,
+)
+
+
+class ChaosVerificationError(AssertionError):
+    """The exchange 'succeeded' but produced wrong bytes — the one outcome
+    the fault fabric must never allow."""
+
+
+@dataclass
+class ChaosRun:
+    """Outcome of one randomized schedule."""
+
+    index: int
+    seed: int
+    workload: str  # "redistribute" | "pipeline"
+    backend: str
+    transport: str
+    outcome: str  # OK | DEGRADED | TYPED_ERROR | FAILED
+    error: str = ""  # exception type (and message head) when not OK
+    injected: int = 0  # faults the plan actually fired
+    duration_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.outcome != FAILED
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate over a chaos sweep; ``passed`` is the CI gate."""
+
+    runs: list[ChaosRun] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.runs) and all(run.passed for run in self.runs)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for run in self.runs if run.outcome == outcome)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos: {len(self.runs)} runs — {self.count(OK)} ok, "
+            f"{self.count(DEGRADED)} degraded, {self.count(TYPED_ERROR)} "
+            f"typed errors, {self.count(FAILED)} failed"
+        ]
+        for run in self.runs:
+            if not run.passed:
+                lines.append(
+                    f"  FAILED run {run.index} (seed {run.seed}, {run.workload}, "
+                    f"{run.backend}/{run.transport}): {run.error}"
+                )
+        return "\n".join(lines)
+
+
+# -- workloads ----------------------------------------------------------------
+
+
+def _reference(nx: int, ny: int) -> np.ndarray:
+    """Global field with a unique value per cell (bitwise comparisons)."""
+    return np.arange(nx * ny, dtype=np.float32).reshape(ny, nx)
+
+
+def _extract(reference: np.ndarray, box: Box) -> np.ndarray:
+    ox, oy = box.offset
+    h, w = box.np_shape()
+    return reference[oy : oy + h, ox : ox + w]
+
+
+def _exchange_worker(
+    comm: Communicator, nx: int, ny: int, backend: str, transport: str,
+    generations: int,
+) -> bool:
+    """Slab-to-tile redistribution, verified bitwise every generation."""
+    rank = comm.rank
+    own_box = slab_box(nx, ny, comm.size, rank)
+    need_box = grid_boxes((nx, ny), grid_shape(comm.size, (nx, ny)))[rank]
+    red = Redistributor(
+        comm, ndims=2, dtype=np.float32, backend=backend, transport=transport
+    )
+    red.setup(own=[own_box], need=need_box)
+    reference = _reference(nx, ny)
+    base_own = np.ascontiguousarray(_extract(reference, own_box))
+    base_expect = _extract(reference, need_box)
+    for generation in range(1, generations + 1):
+        own = base_own * np.float32(generation)
+        out = red.gather_need([own], fill=-1.0)
+        expect = base_expect * np.float32(generation)
+        if not np.array_equal(out, expect):
+            raise ChaosVerificationError(
+                f"rank {rank} generation {generation}: exchange output does "
+                f"not match the reference (silent corruption)"
+            )
+    return True
+
+
+def _pipeline_worker(comm: Communicator, config: PipelineConfig):
+    return run_pipeline(comm, config)
+
+
+def _pipeline_config(backend: str, frame_drop: str) -> PipelineConfig:
+    return PipelineConfig(
+        lbm=LbmConfig(nx=32, ny=16),
+        m=2,
+        n=2,
+        steps=10,
+        output_every=5,
+        backend=backend,
+        frame_drop=frame_drop,
+        frame_deadline_s=0.5,
+        reliability=CHAOS_POLICY,
+    )
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def _classify_failure(exc: BaseException) -> tuple[str, str]:
+    """Map an escaped exception to (outcome, description)."""
+    original = exc.original if isinstance(exc, RankFailure) else exc
+    head = str(original).splitlines()[0][:160] if str(original) else ""
+    label = f"{type(original).__name__}: {head}"
+    if isinstance(original, ChaosVerificationError):
+        return FAILED, label
+    if isinstance(exc, SpmdHangError) or isinstance(original, SpmdHangError):
+        return FAILED, label
+    if isinstance(original, MpiSimError):
+        return TYPED_ERROR, label
+    return FAILED, label
+
+
+def run_chaos(
+    seed: int = 0,
+    runs: int = 50,
+    ops: int = 200,
+    nprocs: int = 4,
+    log=None,
+) -> ChaosReport:
+    """Sweep ``runs`` randomized fault schedules; see the module docstring.
+
+    Run ``i`` uses plan seed ``seed + i`` and cycles through every
+    engine × transport combination; every :data:`PIPELINE_EVERY`-th run
+    drives the in-transit pipeline (alternating the ``skip`` and ``stale``
+    frame-drop policies) instead of the plain redistribution.
+    """
+    if nprocs < 2:
+        raise ValueError(f"chaos needs nprocs >= 2, got {nprocs}")
+    report = ChaosReport()
+    for index in range(runs):
+        plan_seed = seed + index
+        backend = BACKENDS[index % len(BACKENDS)]
+        transport = TRANSPORTS[(index // len(BACKENDS)) % len(TRANSPORTS)]
+        is_pipeline = index % PIPELINE_EVERY == PIPELINE_EVERY - 1
+        # The pipeline tolerates frame loss by policy; crashes there are
+        # still allowed (they surface typed), but drops are the interesting
+        # stimulus.  The plain exchange gets the full fault menu.
+        plan = FaultPlan.random(plan_seed, nprocs, ops=ops)
+        outcome, error, injected = OK, "", 0
+        started = time.perf_counter()
+        try:
+            with fault_plan(plan, CHAOS_POLICY):
+                try:
+                    if is_pipeline:
+                        frame_drop = "skip" if (index // PIPELINE_EVERY) % 2 == 0 else "stale"
+                        config = _pipeline_config(backend, frame_drop)
+                        results = run_spmd(
+                            config.m + config.n,
+                            _pipeline_worker,
+                            config,
+                            deadlock_timeout=DEADLOCK_TIMEOUT_S,
+                        )
+                        root = next(r for r in results if r.role == "analysis_root")
+                        if root.frames_dropped or root.frames_stale:
+                            outcome = DEGRADED
+                    else:
+                        run_spmd(
+                            nprocs,
+                            _exchange_worker,
+                            16,
+                            8,
+                            backend,
+                            transport,
+                            3,
+                            deadlock_timeout=DEADLOCK_TIMEOUT_S,
+                        )
+                finally:
+                    injected = FAULTS.stats.total_injected()
+        except (RankFailure, SpmdHangError, MpiSimError) as exc:
+            outcome, error = _classify_failure(exc)
+        except Exception as exc:  # noqa: BLE001 - bare exceptions fail the run
+            outcome, error = FAILED, f"{type(exc).__name__}: {exc}"
+        run = ChaosRun(
+            index=index,
+            seed=plan_seed,
+            workload="pipeline" if is_pipeline else "redistribute",
+            backend=backend,
+            transport=transport,
+            outcome=outcome,
+            error=error,
+            injected=injected,
+            duration_s=time.perf_counter() - started,
+        )
+        report.runs.append(run)
+        if log is not None:
+            mark = "PASS" if run.passed else "FAIL"
+            log(
+                f"[{mark}] run {index:3d} seed {plan_seed} "
+                f"{run.workload:<12} {backend:<9} {transport:<8} "
+                f"{outcome:<11} inj={injected:<3d} {run.duration_s:.2f}s"
+                + (f"  {error}" if error else "")
+            )
+    return report

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.api import Redistributor
+from ..faults.policy import ReliabilityPolicy
 from ..io.raw import raw_frame_bytes, write_raw
 from ..jpeg.encoder import encode_rgb
 from ..lbm.distributed import DistributedLbm
@@ -33,6 +34,14 @@ from .stream import StreamReceiver, StreamSender, StreamTopology
 #: also be streamed and rendered, achieving similar data compression").
 VARIABLES = ("vorticity", "density", "speed", "ux", "uy")
 
+#: Frame-drop policies (``PipelineConfig.frame_drop``): what the consumer
+#: does when a frame's slabs miss their receive deadline.
+FRAME_DROP_FAIL = "fail"  # block forever (fabric watchdog backstop)
+FRAME_DROP_SKIP = "skip"  # drop the frame, keep rendering later ones
+FRAME_DROP_STALE = "stale"  # substitute the last good data for the region
+
+FRAME_DROP_MODES = (FRAME_DROP_FAIL, FRAME_DROP_SKIP, FRAME_DROP_STALE)
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -44,6 +53,15 @@ class PipelineConfig:
     analysis" — every frame is rendered to JPEG, and additionally every
     ``raw_every_frames``-th frame is counted (and, with ``save_dir``,
     written) as a raw float dump.
+
+    ``frame_drop`` is the consumer's degraded mode when a frame's slabs
+    miss their receive deadline (``frame_deadline_s``, defaulting to the
+    reliability policy's): ``"fail"`` blocks until the fabric watchdog
+    fires (the pre-fault-fabric behaviour), ``"skip"`` abandons the frame
+    and keeps rendering later ones, ``"stale"`` substitutes the last good
+    data for the missing region so every frame still encodes.
+    ``reliability`` threads a :class:`~repro.faults.ReliabilityPolicy`
+    into the analysis-side :class:`~repro.core.api.Redistributor`.
     """
 
     lbm: LbmConfig
@@ -59,10 +77,26 @@ class PipelineConfig:
     raw_every_frames: Optional[int] = None  # dual-frequency output cadence
     variables: tuple[str, ...] = ("vorticity",)
     backend: Optional[str] = None  # exchange engine; None = DDR_BACKEND/default
+    frame_drop: str = FRAME_DROP_FAIL
+    frame_deadline_s: Optional[float] = None  # None = reliability policy default
+    reliability: Optional[ReliabilityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.output_every < 1:
             raise ValueError("steps and output_every must be >= 1")
+        if self.frame_drop not in FRAME_DROP_MODES:
+            raise ValueError(
+                f"unknown frame_drop {self.frame_drop!r}; choose one of "
+                f"{FRAME_DROP_MODES}"
+            )
+        if self.frame_deadline_s is not None and self.frame_deadline_s <= 0:
+            raise ValueError("frame_deadline_s must be positive or None")
+        if self.reliability is not None and not isinstance(
+            self.reliability, ReliabilityPolicy
+        ):
+            raise ValueError(
+                "reliability must be a ReliabilityPolicy or None"
+            )
         if self.backend not in (None, "alltoallw", "p2p", "auto"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose 'alltoallw', 'p2p', "
@@ -83,6 +117,14 @@ class PipelineConfig:
     def n_frames(self) -> int:
         return self.steps // self.output_every
 
+    @property
+    def effective_frame_deadline_s(self) -> float:
+        """The receive deadline the frame-drop policy applies."""
+        if self.frame_deadline_s is not None:
+            return self.frame_deadline_s
+        policy = self.reliability if self.reliability is not None else ReliabilityPolicy()
+        return policy.frame_deadline_s
+
 
 @dataclass
 class PipelineResult:
@@ -95,6 +137,8 @@ class PipelineResult:
     dual_raw_bytes: int = 0  # raw dumps actually kept at the coarse cadence
     jpeg_bytes_by_variable: dict = field(default_factory=dict)
     frames_rendered: list = field(default_factory=list)
+    frames_dropped: int = 0  # (frame, variable) pairs skipped (frame_drop="skip")
+    frames_stale: int = 0  # (frame, variable) pairs rendered with stale data
 
     @property
     def data_reduction(self) -> float:
@@ -188,7 +232,8 @@ def _run_analysis(
     need = grid_boxes((nx, ny), grid)[analysis_comm.rank]
 
     red = Redistributor(
-        analysis_comm, ndims=2, dtype=np.float32, backend=config.backend
+        analysis_comm, ndims=2, dtype=np.float32, backend=config.backend,
+        reliability=config.reliability,
     )
     with TRACER.span("phase.ddr_setup", backend=red.backend):
         red.setup(own=receiver.owned_chunks, need=need)  # once; reused per frame
@@ -198,6 +243,15 @@ def _run_analysis(
         role="analysis_root" if analysis_comm.rank == root else "analysis"
     )
     tile_buffer = np.empty(need.np_shape(), dtype=np.float32)
+    # Degraded-mode state: the last good *input* slabs per variable (zeros
+    # until a variable's first complete frame).  A rank whose frame missed
+    # the deadline re-exchanges these, so the collective DDR call stays
+    # joined on every rank and peers still receive data for our region.
+    last_slabs: dict[int, list[np.ndarray]] = {
+        i: [np.zeros(slab.np_shape(), dtype=np.float32) for _, slab in receiver.sources]
+        for i in range(len(config.variables))
+    }
+    deadline_s = config.effective_frame_deadline_s
 
     origin = (need.offset[1], need.offset[0])  # (row, col) = (y, x)
     for frame in range(config.n_frames):
@@ -206,48 +260,90 @@ def _run_analysis(
             or frame % config.raw_every_frames == 0
         )
         for var_index, name in enumerate(config.variables):
+            # Receive under the frame-drop policy.  "fail" keeps the
+            # original blocking semantics (fabric watchdog backstop);
+            # the degraded modes bound the wait and carry on without the
+            # frame's data.  Every rank still joins the redistribution and
+            # gather below, so a local drop never desynchronises peers.
+            status = "ok"
             with TRACER.span("phase.stream_recv", frame=frame, variable=name):
-                slabs = receiver.recv_frame(frame, var_index)
+                if config.frame_drop == FRAME_DROP_FAIL:
+                    slabs = receiver.recv_frame(frame, var_index)
+                else:
+                    slabs = receiver.try_recv_frame(frame, var_index, deadline_s)
+                    if slabs is None:
+                        status = (
+                            "dropped" if config.frame_drop == FRAME_DROP_SKIP
+                            else "stale"
+                        )
+                        if TRACER.enabled:
+                            with TRACER.span(
+                                "fault.frame_drop", frame=frame, variable=name,
+                                policy=config.frame_drop,
+                            ):
+                                pass
+            if status == "ok":
+                last_slabs[var_index] = slabs
+            else:
+                # Frame loss is local: the exchange is collective over the
+                # analysis ranks, so a rank whose receive timed out still
+                # joins it, re-sending its last good slabs (zeros before
+                # the first complete frame).  Peers keep fresh data where
+                # they have it; only our region goes stale.
+                slabs = last_slabs[var_index]
             with TRACER.span("phase.redistribute", frame=frame, variable=name):
-                red.exchange(slabs, tile_buffer)  # per-frame, per-variable DDR call
+                red.exchange(slabs, tile_buffer)  # per-frame, per-var DDR call
+            tile_field = tile_buffer
 
-            with TRACER.span("phase.render", frame=frame, variable=name):
-                tile_rgb = _render_variable(tile_buffer, name, config)
+            tile_rgb: Optional[np.ndarray] = None
+            if status != "dropped":
+                with TRACER.span("phase.render", frame=frame, variable=name):
+                    tile_rgb = _render_variable(tile_field, name, config)
             # The raw baseline tracks the first (primary) variable only,
             # matching Table IV's "one variable of interest".
             want_raw = var_index == 0 and config.save_raw and is_raw_frame
-            raw_tile = tile_buffer.copy() if want_raw else None
-            gathered = analysis_comm.gather((origin, tile_rgb, raw_tile), root=root)
+            raw_tile = tile_field.copy() if want_raw and status != "dropped" else None
+            gathered = analysis_comm.gather(
+                (origin, tile_rgb, raw_tile, status), root=root
+            )
 
             if analysis_comm.rank != root:
                 continue
             assert gathered is not None
-            with TRACER.span("phase.encode", frame=frame, variable=name):
-                frame_rgb = assemble_tiles([(o, rgb) for o, rgb, _ in gathered], (ny, nx))
-                blob = encode_rgb(frame_rgb, quality=config.quality)
-            result.jpeg_bytes += len(blob)
-            result.jpeg_bytes_by_variable[name] = (
-                result.jpeg_bytes_by_variable.get(name, 0) + len(blob)
-            )
+            statuses = [s for _, _, _, s in gathered]
             if var_index == 0:
                 result.frames += 1
                 result.raw_bytes += raw_frame_bytes(nx, ny) * len(config.variables)
                 if config.raw_every_frames is not None and is_raw_frame:
                     result.dual_raw_bytes += raw_frame_bytes(nx, ny)
-                if config.keep_frames:
-                    result.frames_rendered.append(frame_rgb)
+            if "dropped" in statuses:
+                # skip policy: the frame is lost; later frames keep coming.
+                result.frames_dropped += 1
+                continue
+            if "stale" in statuses:
+                result.frames_stale += 1
+            with TRACER.span("phase.encode", frame=frame, variable=name):
+                frame_rgb = assemble_tiles(
+                    [(o, rgb) for o, rgb, _, _ in gathered], (ny, nx)
+                )
+                blob = encode_rgb(frame_rgb, quality=config.quality)
+            result.jpeg_bytes += len(blob)
+            result.jpeg_bytes_by_variable[name] = (
+                result.jpeg_bytes_by_variable.get(name, 0) + len(blob)
+            )
+            if var_index == 0 and config.keep_frames:
+                result.frames_rendered.append(frame_rgb)
             if config.save_dir is not None:
                 directory = Path(config.save_dir)
                 directory.mkdir(parents=True, exist_ok=True)
                 suffix = "" if len(config.variables) == 1 else f"_{name}"
                 (directory / f"frame_{frame:05d}{suffix}.jpg").write_bytes(blob)
-                if want_raw:
+                if want_raw and all(tf is not None for _, _, tf, _ in gathered):
                     # Reassemble the full float field for the baseline path.
                     raw = np.zeros((ny, nx), dtype=np.float32)
-                    for (r0, c0), _, tile_field in gathered:
-                        assert tile_field is not None
-                        th, tw = tile_field.shape
-                        raw[r0 : r0 + th, c0 : c0 + tw] = tile_field
+                    for (r0, c0), _, tile_field_, _ in gathered:
+                        th, tw = tile_field_.shape
+                        raw[r0 : r0 + th, c0 : c0 + tw] = tile_field_
                     write_raw(directory / f"frame_{frame:05d}.raw", raw)
     return result
 

@@ -11,7 +11,9 @@ without uniform mapping").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -130,4 +132,43 @@ class StreamReceiver:
                 buffer, source=sim_rank, tag=frame_tag(frame_index, var_index)
             )
             out.append(buffer)
+        return out
+
+    def try_recv_frame(
+        self,
+        frame_index: int,
+        var_index: int = 0,
+        deadline_s: float = 5.0,
+    ) -> Optional[list[np.ndarray]]:
+        """Like :meth:`recv_frame`, bounded by ``deadline_s``.
+
+        Returns the slabs in chunk order, or ``None`` if any slab is still
+        missing when the deadline expires — the degraded-mode entry point
+        behind the pipeline's frame-drop policy.  Abandoning the wait is
+        safe because tags are unique per (frame, variable): a slab that
+        straggles in later sits in the mailbox under its own tag and can
+        never cross-match another frame's receive.  Senders are eager
+        (buffered at post time), so nobody blocks on the abandoned frame.
+        """
+        out = [
+            np.empty(slab.np_shape(), dtype=np.float32) for _, slab in self.sources
+        ]
+        requests = [
+            self.world.Irecv(
+                buffer, source=sim_rank, tag=frame_tag(frame_index, var_index)
+            )
+            for buffer, (sim_rank, _) in zip(out, self.sources)
+        ]
+        deadline = time.monotonic() + deadline_s
+        pending = list(requests)
+        while pending:
+            self.world.fabric.check_abort()
+            pending = [request for request in pending if not request.test()]
+            if not pending:
+                break
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.001)
+        for request in requests:
+            request.wait()
         return out

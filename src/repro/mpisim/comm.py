@@ -22,6 +22,15 @@ stable for the duration of the exchange.  Select transports globally with
 scope with the :func:`transport` context manager; the packed path remains
 fully supported for debugging and as the benchmark baseline.
 
+The send/recv/collective paths consult the process-wide fault layer
+(:data:`repro.faults.injector.FAULTS`) behind a single attribute check, so
+a seeded :class:`~repro.faults.FaultPlan` can delay, drop, corrupt, or
+transiently fail traffic deterministically — and the recovery machinery
+(checksum verify-and-reretrieve, retry with exponential backoff,
+per-operation deadlines) turns those faults into healed operations or
+prompt typed errors.  With no plan installed the cost is one attribute
+load per operation.
+
 Timing of the paper's *experiments* is handled separately by
 ``repro.netmodel``; this module is about moving real bytes correctly.
 """
@@ -39,6 +48,7 @@ from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
 from ..utils.timing import TRANSFER_COUNTERS
 from .datatypes import Datatype, named_type_for
@@ -167,6 +177,11 @@ class _Message:
     tag: int
     internal: bool
     payload: Any  # ndarray for typed traffic, arbitrary object for lowercase API
+    # Set by the fault layer only (see repro.faults.injector): a CRC32 seal
+    # over the staged payload, and — for an injected corruption — the
+    # sender's retained pristine payload, the verify-and-reretrieve source.
+    checksum: Optional[int] = None
+    pristine: Any = None
 
 
 class Fabric:
@@ -240,10 +255,21 @@ class Fabric:
         comm_id: Hashable,
         my_world: int,
         match: Callable[[_Message], bool],
+        deadline_s: Optional[float] = None,
     ) -> _Message:
-        """Blocking matched receive with abort and deadlock handling."""
+        """Blocking matched receive with abort and deadlock handling.
+
+        ``deadline_s`` (from a :class:`~repro.faults.ReliabilityPolicy`'s
+        per-operation deadline) bounds this one receive below the global
+        deadlock timeout, so a dropped message surfaces as a prompt, typed
+        :class:`TimeoutError_` instead of a full watchdog wait.
+        """
+        timeout = self.deadlock_timeout
+        per_op = deadline_s is not None and deadline_s < timeout
+        if per_op:
+            timeout = deadline_s
         cond = self._conds[my_world]
-        deadline = time.monotonic() + self.deadlock_timeout
+        deadline = time.monotonic() + timeout
         with cond:
             while True:
                 self.check_abort()
@@ -252,6 +278,13 @@ class Fabric:
                     return found
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    if per_op:
+                        raise TimeoutError_(
+                            f"rank (world {my_world}) got no matching message on "
+                            f"comm {comm_id!r} within the {timeout}s per-operation "
+                            f"deadline; message lost or peer stalled "
+                            f"({FAULTS.diagnostics()})"
+                        )
                     raise TimeoutError_(
                         f"rank (world {my_world}) blocked > {self.deadlock_timeout}s "
                         f"waiting on comm {comm_id!r}; likely deadlock"
@@ -280,6 +313,13 @@ def _payload_from(buf: np.ndarray, datatype: Optional[Datatype]) -> np.ndarray:
 def _payload_into(buf: np.ndarray, datatype: Optional[Datatype], payload: np.ndarray) -> int:
     """Unpack a received payload into the user's buffer; returns bytes written."""
     if datatype is not None:
+        if datatype.size_elements() != payload.size:
+            # Same typed error the rendezvous path raises for a selection
+            # mismatch, instead of numpy's broadcast ValueError.
+            raise TruncationError(
+                f"message of {payload.size} elements does not match receive "
+                f"type selecting {datatype.size_elements()}"
+            )
         datatype.unpack(buf, payload)
         return payload.size * payload.dtype.itemsize
     arr = np.asarray(buf)
@@ -554,6 +594,8 @@ class Communicator:
             )
             if found is None:
                 return False
+            if FAULTS.active:
+                FAULTS.on_deliver(found)
             stash["msg"] = found
             return True
 
@@ -1170,6 +1212,10 @@ class Communicator:
 
     def _post(self, dest: int, message: _Message) -> None:
         self.fabric.check_abort()
+        if FAULTS.active and not FAULTS.on_send(
+            self._world_ranks[self._rank], message
+        ):
+            return  # dropped by the fault plan (rendezvous senders released)
         self.fabric.post(self.comm_id, self._world_ranks[dest], message)
 
     def _post_rendezvous(
@@ -1217,7 +1263,15 @@ class Communicator:
                     )
 
     def _consume(self, match: Callable[[_Message], bool]) -> _Message:
-        return self.fabric.consume(self.comm_id, self._world_ranks[self._rank], match)
+        deadline_s = None
+        if FAULTS.active:
+            deadline_s = FAULTS.on_recv(self._world_ranks[self._rank])
+        message = self.fabric.consume(
+            self.comm_id, self._world_ranks[self._rank], match, deadline_s=deadline_s
+        )
+        if FAULTS.active:
+            FAULTS.on_deliver(message)
+        return message
 
     def _coll_send(self, buf: np.ndarray, dest: int, seq: int) -> None:
         payload = np.ascontiguousarray(buf).reshape(-1).copy()

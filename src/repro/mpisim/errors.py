@@ -24,8 +24,38 @@ class CommunicatorError(MpiSimError, ValueError):
 
 
 class TimeoutError_(MpiSimError):
-    """A blocking operation waited longer than the fabric's deadlock timeout.
+    """A blocking operation waited longer than the fabric's deadlock timeout
+    (or a per-operation deadline from a :class:`~repro.faults.ReliabilityPolicy`).
 
     Named with a trailing underscore to avoid shadowing :class:`TimeoutError`;
     it still subclasses ``RuntimeError`` so generic handlers catch it.
     """
+
+
+class FaultInjectionError(MpiSimError):
+    """Base class for failures surfaced by the fault-injection layer
+    (:mod:`repro.faults`) after recovery was attempted or ruled out."""
+
+
+class TransientFaultError(FaultInjectionError):
+    """A retryable injected failure.
+
+    Raised only at points where no communication state has changed (e.g.
+    exchange-round entry), so catching it and retrying the operation is
+    always safe.  Transient send/recv faults inside the transport never
+    escape as this type — they are healed in place by the reliability
+    layer's retry-with-backoff or escalated to
+    :class:`RetriesExhaustedError`.
+    """
+
+
+class RetriesExhaustedError(FaultInjectionError):
+    """An operation kept failing past the ``ReliabilityPolicy`` retry budget."""
+
+
+class CorruptionError(FaultInjectionError):
+    """A message failed its checksum and could not be re-retrieved."""
+
+
+class RankCrashError(FaultInjectionError):
+    """This rank was killed by the fault plan (simulated process death)."""

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
 from .errors import AbortError
@@ -60,18 +61,36 @@ def world_communicators(
 
 
 def _stuck_detail(stuck: list[int]) -> str:
-    """Name each stuck rank and, if tracing is on, its open span stack."""
+    """Name each stuck rank and, if tracing is on, its open span stack.
+
+    When a fault plan is installed the report also carries the
+    fault-injection state — the active plan, each rank's op count, and any
+    retry in progress — so a chaos-test hang is diagnosable from the error
+    message alone.
+    """
     active = TRACER.active_spans()
     parts = []
     for rank in stuck:
         spans = active.get(rank)
+        notes = []
         if spans:
-            parts.append(f"rank {rank} in {' > '.join(spans)}")
+            notes.append(f"in {' > '.join(spans)}")
         elif TRACER.enabled:
-            parts.append(f"rank {rank} (no open span)")
+            notes.append("(no open span)")
         else:
-            parts.append(f"rank {rank} (enable tracing for span context)")
-    return "; ".join(parts)
+            notes.append("(enable tracing for span context)")
+        if FAULTS.active:
+            retry = FAULTS.pending_retries.get(rank)
+            notes.append(
+                f"[faults: op {FAULTS.op_count(rank)}"
+                + (f", retrying {retry}" if retry else "")
+                + "]"
+            )
+        parts.append(f"rank {rank} " + " ".join(notes))
+    detail = "; ".join(parts)
+    if FAULTS.active:
+        detail += f" | fault layer: {FAULTS.diagnostics()}"
+    return detail
 
 
 def run_spmd(

@@ -12,7 +12,10 @@ layer funnels into.  Three producers feed it:
   read/exchange/render totals);
 * :meth:`MetricsRegistry.absorb_transfers` — a
   :class:`~repro.utils.timing.TransferCounters` snapshot (copy/allocation
-  counts from the transport layer).
+  counts from the transport layer);
+* :meth:`MetricsRegistry.absorb_faults` — a
+  :class:`~repro.faults.FaultStats` snapshot (injected faults and
+  recoveries from the fault layer).
 
 so the pre-existing reporting paths and the new tracing layer print through
 one :meth:`summary`.
@@ -157,6 +160,17 @@ class MetricsRegistry:
         if snapshot["allocations"]:
             self.incr(f"{prefix}allocations", snapshot["allocations"])
             self.incr(f"{prefix}bytes_allocated", snapshot["bytes_allocated"])
+
+    def absorb_faults(self, stats, prefix: str = "fault.") -> None:
+        """Fold a fault-layer stats snapshot into plain counters.
+
+        ``stats`` is a :class:`~repro.faults.FaultStats` (anything with a
+        ``snapshot()``) or a plain ``{name: count}`` dict.
+        """
+        snapshot = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+        for name, n in snapshot.items():
+            if n:
+                self.incr(f"{prefix}{name}", n)
 
     # -- reporting -----------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""Chaos harness: a short sweep must classify every run, never hang."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos import (
+    BACKENDS,
+    DEGRADED,
+    FAILED,
+    OK,
+    TYPED_ERROR,
+    ChaosReport,
+    ChaosRun,
+    run_chaos,
+)
+
+
+class TestRunChaos:
+    def test_short_sweep_passes_and_covers_backends(self):
+        report = run_chaos(seed=0, runs=6, ops=60, nprocs=2)
+        assert len(report.runs) == 6
+        assert report.passed, report.summary()
+        assert {run.backend for run in report.runs} == set(BACKENDS)
+        for run in report.runs:
+            assert run.outcome in (OK, DEGRADED, TYPED_ERROR)
+            if run.outcome != OK:
+                assert run.error  # classified outcomes carry their cause
+
+    def test_sweep_is_reproducible(self):
+        a = run_chaos(seed=3, runs=3, ops=40, nprocs=2)
+        b = run_chaos(seed=3, runs=3, ops=40, nprocs=2)
+        assert [r.outcome for r in a.runs] == [r.outcome for r in b.runs]
+        assert [r.injected for r in a.runs] == [r.injected for r in b.runs]
+
+    def test_rejects_single_rank(self):
+        with pytest.raises(ValueError):
+            run_chaos(nprocs=1)
+
+
+class TestReport:
+    def test_empty_report_does_not_pass(self):
+        assert not ChaosReport().passed
+
+    def test_failed_run_fails_report_and_is_summarized(self):
+        report = ChaosReport(runs=[
+            ChaosRun(index=0, seed=9, workload="redistribute", backend="p2p",
+                     transport="packed", outcome=FAILED, error="HangError: x"),
+        ])
+        assert not report.passed
+        assert "FAILED run 0 (seed 9" in report.summary()
+
+
+class TestCli:
+    def test_chaos_subcommand_exit_zero(self, capsys):
+        code = main(["chaos", "--runs", "3", "--ops", "40", "--nprocs", "2",
+                     "--quiet"])
+        assert code == 0
+        assert "chaos: 3 runs" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""FaultPlan: determinism, scripted events, and the random generator."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec, ReliabilityPolicy
+from repro.faults.policy import CORRUPTION_RAISE
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=7, nranks=4, p_delay=0.2, p_drop=0.1, p_corrupt=0.1)
+        b = FaultPlan(seed=7, nranks=4, p_delay=0.2, p_drop=0.1, p_corrupt=0.1)
+        for rank in range(4):
+            for op in range(50):
+                assert a.delay_s(rank, op) == b.delay_s(rank, op)
+                assert a.corrupt(rank, op, 0) == b.corrupt(rank, op, 0)
+                assert a.drop(rank, op, 0, 0) == b.drop(rank, op, 0, 0)
+
+    def test_decisions_independent_of_query_order(self):
+        """Fault decisions are pure functions of (seed, kind, rank, op) —
+        querying in a different interleaving changes nothing."""
+        plan = FaultPlan(seed=3, nranks=2, p_delay=0.5)
+        forward = [plan.delay_s(0, op) for op in range(20)]
+        backward = [plan.delay_s(0, op) for op in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, nranks=2, p_delay=0.5)
+        b = FaultPlan(seed=2, nranks=2, p_delay=0.5)
+        decisions_a = [a.delay_s(0, op) > 0 for op in range(64)]
+        decisions_b = [b.delay_s(0, op) > 0 for op in range(64)]
+        assert decisions_a != decisions_b
+
+    def test_horizon_bounds_probabilistic_faults(self):
+        plan = FaultPlan(seed=5, nranks=2, ops=10, p_delay=1.0)
+        assert plan.delay_s(0, 5) > 0
+        assert plan.delay_s(0, 10) == 0.0
+        assert plan.delay_s(0, 1000) == 0.0
+
+
+class TestScriptedEvents:
+    def test_spec_matches(self):
+        spec = FaultSpec(kind="drop", rank=1, op=None, tag=17)
+        assert spec.matches(1, 99, 17)
+        assert not spec.matches(0, 99, 17)
+        assert not spec.matches(1, 99, 18)
+
+    def test_scripted_drop_fires_once(self):
+        plan = FaultPlan(
+            seed=0, nranks=2,
+            events=(FaultSpec(kind="drop", rank=0, tag=5, count=1),),
+        )
+        assert plan.drop(0, 3, 5, seen_drops=0)
+        assert not plan.drop(0, 4, 5, seen_drops=1)  # budget spent
+        assert not plan.drop(1, 3, 5, seen_drops=0)  # other rank
+
+    def test_scripted_crash(self):
+        plan = FaultPlan(seed=0, nranks=2, crash_rank=1, crash_at_op=4)
+        assert not plan.crashes(1, 3)
+        assert plan.crashes(1, 4)
+        assert plan.crashes(1, 100)
+        assert not plan.crashes(0, 100)
+
+    def test_round_failures(self):
+        plan = FaultPlan(
+            seed=0, nranks=2,
+            events=(FaultSpec(kind="round", rank=0, op=2, count=2),),
+        )
+        assert plan.round_failures(0, 2) == 2
+        assert plan.round_failures(0, 1) == 0
+        assert plan.round_failures(1, 2) == 0
+
+
+class TestRandom:
+    def test_random_is_reproducible(self):
+        assert FaultPlan.random(42, 4).summary() == FaultPlan.random(42, 4).summary()
+
+    def test_random_varies_by_seed(self):
+        summaries = {FaultPlan.random(s, 4).summary() for s in range(20)}
+        assert len(summaries) > 1
+
+    def test_kind_registry(self):
+        assert set(FAULT_KINDS) == {
+            "delay", "drop", "send", "recv", "corrupt", "round", "crash",
+        }
+
+
+class TestPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = ReliabilityPolicy(
+            backoff_base_s=0.001, backoff_factor=2.0, backoff_cap_s=0.003
+        )
+        assert policy.backoff_s(1) == 0.001
+        assert policy.backoff_s(2) == 0.002
+        assert policy.backoff_s(3) == 0.003  # capped
+        assert policy.backoff_s(10) == 0.003
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ReliabilityPolicy(corruption="ignore")
+        with pytest.raises(ValueError):
+            ReliabilityPolicy(op_deadline_s=0)
+        ReliabilityPolicy(corruption=CORRUPTION_RAISE)  # valid mode

@@ -1,0 +1,111 @@
+"""Degraded-mode streaming: frame-drop policies under an injected drop.
+
+A scripted ``FaultSpec`` silently discards one sim rank's slab for frame 1
+(tag-targeted via ``frame_tag``, so no op counting).  Each policy must then
+deliver its contract: ``skip`` abandons that frame and keeps rendering,
+``stale`` substitutes the last good data so every frame still encodes, and
+``fail`` surfaces a typed timeout instead of hanging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, ReliabilityPolicy, fault_plan
+from repro.intransit import (
+    FRAME_DROP_SKIP,
+    FRAME_DROP_STALE,
+    PipelineConfig,
+    frame_tag,
+    run_pipeline,
+)
+from repro.lbm import LbmConfig
+from repro.mpisim import RankFailure, TimeoutError_
+from tests.conftest import spmd
+
+LBM = LbmConfig(nx=32, ny=16)
+
+#: Fast recovery knobs so a lost frame resolves in well under a second.
+POLICY = ReliabilityPolicy(
+    backoff_base_s=0.0001, backoff_cap_s=0.001, frame_deadline_s=0.3,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        lbm=LBM, m=2, n=1, steps=30, output_every=10, keep_frames=True,
+        reliability=POLICY,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def _drop_frame_plan(frame_index: int) -> FaultPlan:
+    """Sim world-rank 0 loses its slab send for ``frame_index``."""
+    return FaultPlan(
+        seed=0, nranks=3,
+        events=(FaultSpec(kind="drop", rank=0, tag=frame_tag(frame_index)),),
+    )
+
+
+def _run(config):
+    def fn(comm):
+        return run_pipeline(comm, config)
+
+    return spmd(3, fn, deadlock_timeout=10.0)
+
+
+class TestSkipPolicy:
+    def test_dropped_frame_skipped_later_frames_render(self):
+        config = _config(frame_drop=FRAME_DROP_SKIP)
+        with fault_plan(_drop_frame_plan(1), POLICY):
+            results = _run(config)
+        root = results[2]
+        assert root.frames_dropped == 1
+        assert root.frames_stale == 0
+        assert root.frames == config.n_frames  # streamed, even if not encoded
+        assert len(root.frames_rendered) == config.n_frames - 1
+        assert root.jpeg_bytes > 0
+
+
+class TestStalePolicy:
+    def test_dropped_frame_rendered_from_stale_data(self):
+        config = _config(frame_drop=FRAME_DROP_STALE)
+        with fault_plan(_drop_frame_plan(1), POLICY):
+            results = _run(config)
+        root = results[2]
+        assert root.frames_stale == 1
+        assert root.frames_dropped == 0
+        assert len(root.frames_rendered) == config.n_frames  # every frame encodes
+        for frame in root.frames_rendered:
+            assert frame.shape == (LBM.ny, LBM.nx, 3)
+
+
+class TestFailPolicy:
+    def test_default_policy_surfaces_typed_timeout(self):
+        """frame_drop="fail" keeps the pre-fault-fabric strictness: the
+        analysis rank raises a typed error instead of rendering onward."""
+        config = _config(reliability=ReliabilityPolicy(op_deadline_s=0.3))
+        with fault_plan(_drop_frame_plan(1), ReliabilityPolicy(op_deadline_s=0.3)):
+            with pytest.raises(RankFailure) as excinfo:
+                _run(config)
+        assert isinstance(excinfo.value.original, TimeoutError_)
+
+
+class TestCleanRunParity:
+    def test_no_faults_means_no_degradation(self):
+        for mode in (FRAME_DROP_SKIP, FRAME_DROP_STALE):
+            root = _run(_config(frame_drop=mode))[2]
+            assert root.frames_dropped == 0
+            assert root.frames_stale == 0
+            assert len(root.frames_rendered) == 3
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="frame_drop"):
+            _config(frame_drop="hope")
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            _config(frame_deadline_s=0.0)

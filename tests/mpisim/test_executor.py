@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.mpisim import (
+    AbortError,
     CommunicatorError,
     Fabric,
     RankFailure,
@@ -174,3 +176,84 @@ class TestWorldCommunicators:
         err = ValueError("x")
         fabric.abort(err)
         assert fabric.aborted is err
+
+
+class TestAbortPropagation:
+    """Regression: when one rank dies, *every* blocked peer must be released
+    with AbortError — including ranks parked deep inside a collective —
+    and run_spmd must surface the originating exception, not a peer's
+    secondary abort."""
+
+    def test_abort_reaches_recv_and_collective_parked_ranks(self):
+        from repro.mpisim import FLOAT
+
+        aborted = []
+
+        def fn(comm):
+            rank = comm.rank
+            if rank == 0:
+                time.sleep(0.2)  # let the peers park first
+                raise RuntimeError("originating failure")
+            try:
+                if rank == 1:
+                    comm.Recv(np.zeros(1), source=0, tag=42)  # never sent
+                else:
+                    # Parked inside Alltoallw waiting on lanes from rank 0,
+                    # which never calls the collective at all.
+                    types = [FLOAT.Create_contiguous(1) for _ in range(comm.size)]
+                    comm.Alltoallw(
+                        np.zeros(comm.size, dtype=np.float32), types,
+                        np.zeros(comm.size, dtype=np.float32), list(types),
+                    )
+            except AbortError:
+                aborted.append(rank)
+                raise
+
+        with pytest.raises(RankFailure) as excinfo:
+            spmd(4, fn)
+        # The *original* failure wins, not the secondary AbortErrors.
+        assert excinfo.value.rank == 0
+        assert isinstance(excinfo.value.original, RuntimeError)
+        assert "originating failure" in str(excinfo.value.original)
+        # Every parked peer was released promptly via AbortError.
+        assert sorted(aborted) == [1, 2, 3]
+
+
+class TestHangReportFaultState:
+    def test_hang_report_includes_fault_layer_diagnostics(self):
+        """With a fault plan installed, SpmdHangError names the plan and
+        per-rank op counters so a wedged chaos run is debuggable."""
+        from repro.faults import FaultPlan, fault_plan
+
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 1:
+                release.wait(30.0)  # wedged outside any fabric call
+            return comm.rank
+
+        plan = FaultPlan(seed=11, nranks=2, p_delay=0.0)
+        try:
+            with fault_plan(plan):
+                with pytest.raises(SpmdHangError) as excinfo:
+                    run_spmd(2, fn, deadlock_timeout=0.2, join_timeout=0.4)
+        finally:
+            release.set()
+        message = str(excinfo.value)
+        assert "fault layer:" in message
+        assert "seed=11" in message
+
+    def test_hang_report_omits_fault_state_when_inactive(self):
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 1:
+                release.wait(30.0)
+            return comm.rank
+
+        try:
+            with pytest.raises(SpmdHangError) as excinfo:
+                run_spmd(2, fn, deadlock_timeout=0.2, join_timeout=0.4)
+        finally:
+            release.set()
+        assert "fault layer:" not in str(excinfo.value)
