@@ -202,6 +202,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
     from .faults.chaos import run_chaos
 
     report = run_chaos(
@@ -210,8 +212,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ops=args.ops,
         nprocs=args.nprocs,
         log=None if args.quiet else print,
+        crashes=args.crashes,
     )
     print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote machine-readable report -> {args.json}")
     return 0 if report.passed else 1
 
 
@@ -296,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fault-injection horizon in transport ops per rank")
     pc.add_argument("--nprocs", type=int, default=4,
                     help="ranks per run (default 4)")
+    pc.add_argument("--crashes", action="store_true",
+                    help="single-crash mode: kill one rank per run and "
+                    "require ULFM-style shrink/recover (resilient workloads)")
+    pc.add_argument("--json", metavar="PATH", default=None,
+                    help="write the machine-readable report to PATH")
     pc.add_argument("--quiet", action="store_true",
                     help="suppress the per-run log lines")
     pc.set_defaults(fn=_cmd_chaos)

@@ -22,19 +22,21 @@ level).
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..core.api import Redistributor
 from ..core.box import Box
-from ..intransit.pipeline import PipelineConfig, run_pipeline
+from ..intransit.pipeline import PipelineConfig, PipelineResult, run_pipeline
 from ..lbm.decompose import slab_box
 from ..lbm.simulation import LbmConfig
 from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
-from ..mpisim.errors import MpiSimError
+from ..mpisim.errors import MpiSimError, RankCrashError
 from ..mpisim.executor import RankFailure, SpmdHangError, run_spmd
+from ..resilience import ResilientRedistributor
 from ..volren.decompose import grid_boxes, grid_shape
 from .injector import FAULTS, fault_plan
 from .plan import FaultPlan
@@ -47,7 +49,8 @@ TRANSPORTS = (TRANSPORT_PACKED, TRANSPORT_ZEROCOPY)
 
 #: Outcome labels.
 OK = "ok"  # bitwise-correct output, all faults absorbed
-DEGRADED = "degraded"  # pipeline completed by dropping/staling frames
+RECOVERED = "recovered"  # a rank crashed; survivors shrank and finished bitwise-correct
+DEGRADED = "degraded"  # completed by dropping/staling frames or stale restores
 TYPED_ERROR = "typed-error"  # a clean MpiSimError subclass surfaced
 FAILED = "failed"  # hang, bare exception, or silent corruption
 
@@ -85,14 +88,20 @@ class ChaosRun:
     workload: str  # "redistribute" | "pipeline"
     backend: str
     transport: str
-    outcome: str  # OK | DEGRADED | TYPED_ERROR | FAILED
+    outcome: str  # OK | RECOVERED | DEGRADED | TYPED_ERROR | FAILED
     error: str = ""  # exception type (and message head) when not OK
     injected: int = 0  # faults the plan actually fired
     duration_s: float = 0.0
+    stats: dict = field(default_factory=dict)  # fault-layer counter snapshot
 
     @property
     def passed(self) -> bool:
         return self.outcome != FAILED
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["passed"] = self.passed
+        return out
 
 
 @dataclass
@@ -111,8 +120,9 @@ class ChaosReport:
     def summary(self) -> str:
         lines = [
             f"chaos: {len(self.runs)} runs — {self.count(OK)} ok, "
-            f"{self.count(DEGRADED)} degraded, {self.count(TYPED_ERROR)} "
-            f"typed errors, {self.count(FAILED)} failed"
+            f"{self.count(RECOVERED)} recovered, {self.count(DEGRADED)} "
+            f"degraded, {self.count(TYPED_ERROR)} typed errors, "
+            f"{self.count(FAILED)} failed"
         ]
         for run in self.runs:
             if not run.passed:
@@ -121,6 +131,17 @@ class ChaosReport:
                     f"{run.backend}/{run.transport}): {run.error}"
                 )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable sweep summary (``python -m repro chaos --json``)."""
+        return {
+            "passed": self.passed,
+            "counts": {
+                outcome: self.count(outcome)
+                for outcome in (OK, RECOVERED, DEGRADED, TYPED_ERROR, FAILED)
+            },
+            "runs": [run.to_dict() for run in self.runs],
+        }
 
 
 # -- workloads ----------------------------------------------------------------
@@ -164,6 +185,55 @@ def _exchange_worker(
     return True
 
 
+def _resilient_exchange_worker(
+    comm: Communicator, nx: int, ny: int, backend: str, transport: str,
+    generations: int,
+) -> tuple[int, bool]:
+    """Crash-surviving slab-to-tile redistribution.
+
+    Regenerates data for *every* current own box each generation (adopted
+    boxes included), so a recovered run is verified bitwise against the
+    no-fault reference.  Regions the recovery had to restore from an older
+    checkpoint epoch (``stale_boxes``) are masked out of the comparison
+    and reported as degradation instead.  Returns ``(recoveries,
+    degraded)``.
+    """
+    rank = comm.rank
+    own_box = slab_box(nx, ny, comm.size, rank)
+    need_box = grid_boxes((nx, ny), grid_shape(comm.size, (nx, ny)))[rank]
+    red = ResilientRedistributor(
+        comm, ndims=2, dtype=np.float32, backend=backend, transport=transport
+    )
+    red.setup([own_box], need_box)
+    reference = _reference(nx, ny)
+    expect_base = _extract(reference, need_box)
+    degraded = False
+    for generation in range(1, generations + 1):
+        scale = np.float32(generation)
+        buffers = [
+            np.ascontiguousarray(_extract(reference, box)) * scale
+            for box in red.own_boxes
+        ]
+        out = red.gather_need(buffers, fill=-1.0)
+        expect = expect_base * scale
+        mask = np.ones(expect.shape, dtype=bool)
+        if red.stale_boxes:
+            degraded = True
+            for box in red.stale_boxes:
+                overlap = box.intersect(need_box)
+                if overlap is None:
+                    continue
+                r0, c0 = overlap.np_starts_within(need_box)
+                h, w = overlap.np_shape()
+                mask[r0 : r0 + h, c0 : c0 + w] = False
+        if not np.array_equal(out[mask], expect[mask]):
+            raise ChaosVerificationError(
+                f"rank {rank} generation {generation}: recovered exchange "
+                f"output does not match the reference (silent corruption)"
+            )
+    return red.recoveries, degraded
+
+
 def _pipeline_worker(comm: Communicator, config: PipelineConfig):
     return run_pipeline(comm, config)
 
@@ -179,6 +249,39 @@ def _pipeline_config(backend: str, frame_drop: str) -> PipelineConfig:
         frame_drop=frame_drop,
         frame_deadline_s=0.5,
         reliability=CHAOS_POLICY,
+    )
+
+
+def _crash_pipeline_config(backend: str, frame_drop: str) -> PipelineConfig:
+    # m=3 so a single simulation-rank death still leaves m' >= n.
+    return PipelineConfig(
+        lbm=LbmConfig(nx=32, ny=16),
+        m=3,
+        n=2,
+        steps=10,
+        output_every=5,
+        backend=backend,
+        frame_drop=frame_drop,
+        frame_deadline_s=0.5,
+        reliability=CHAOS_POLICY,
+        on_rank_loss="shrink",
+    )
+
+
+def _crash_plan(plan_seed: int, nranks: int, ops: int, window: int) -> FaultPlan:
+    """A single-crash schedule: one victim, one kill point, nothing else.
+
+    ``window`` caps the kill point so it lands inside the workload's actual
+    op count (the exchange performs far fewer transport ops than a full
+    pipeline run); a crash point past the end would never fire.
+    """
+    meta = random.Random(plan_seed)
+    return FaultPlan(
+        seed=plan_seed,
+        nranks=nranks,
+        ops=ops,
+        crash_rank=meta.randrange(nranks),
+        crash_at_op=meta.randrange(3, max(4, min(ops, window))),
     )
 
 
@@ -205,6 +308,7 @@ def run_chaos(
     ops: int = 200,
     nprocs: int = 4,
     log=None,
+    crashes: bool = False,
 ) -> ChaosReport:
     """Sweep ``runs`` randomized fault schedules; see the module docstring.
 
@@ -212,6 +316,14 @@ def run_chaos(
     engine × transport combination; every :data:`PIPELINE_EVERY`-th run
     drives the in-transit pipeline (alternating the ``skip`` and ``stale``
     frame-drop policies) instead of the plain redistribution.
+
+    With ``crashes=True`` every plan is a seeded *single-crash* schedule
+    (one victim rank, one kill point, no other faults) and the workloads
+    run their crash-surviving variants — :class:`ResilientRedistributor`
+    and the shrink-mode pipeline.  A run where the victim actually died
+    must end recovered-bitwise-correct (:data:`RECOVERED`), degraded by
+    policy (:data:`DEGRADED`), or with a typed error; a hang or silent
+    corruption still fails the run.
     """
     if nprocs < 2:
         raise ValueError(f"chaos needs nprocs >= 2, got {nprocs}")
@@ -221,27 +333,54 @@ def run_chaos(
         backend = BACKENDS[index % len(BACKENDS)]
         transport = TRANSPORTS[(index // len(BACKENDS)) % len(TRANSPORTS)]
         is_pipeline = index % PIPELINE_EVERY == PIPELINE_EVERY - 1
+        if is_pipeline:
+            config = (
+                _crash_pipeline_config if crashes else _pipeline_config
+            )(
+                backend,
+                "skip" if (index // PIPELINE_EVERY) % 2 == 0 else "stale",
+            )
+            world_size = config.m + config.n
+        else:
+            config = None
+            world_size = nprocs
         # The pipeline tolerates frame loss by policy; crashes there are
-        # still allowed (they surface typed), but drops are the interesting
-        # stimulus.  The plain exchange gets the full fault menu.
-        plan = FaultPlan.random(plan_seed, nprocs, ops=ops)
+        # still allowed (they surface typed or recovered), but drops are
+        # the interesting stimulus.  The plain exchange gets the full
+        # fault menu; crash mode narrows it to one scripted death.
+        if crashes:
+            window = 90 if is_pipeline else 20
+            plan = _crash_plan(plan_seed, world_size, ops, window)
+        else:
+            plan = FaultPlan.random(plan_seed, nprocs, ops=ops)
         outcome, error, injected = OK, "", 0
+        stats: dict = {}
         started = time.perf_counter()
         try:
             with fault_plan(plan, CHAOS_POLICY):
                 try:
                     if is_pipeline:
-                        frame_drop = "skip" if (index // PIPELINE_EVERY) % 2 == 0 else "stale"
-                        config = _pipeline_config(backend, frame_drop)
                         results = run_spmd(
-                            config.m + config.n,
+                            world_size,
                             _pipeline_worker,
                             config,
+                            resilient=crashes,
                             deadlock_timeout=DEADLOCK_TIMEOUT_S,
                         )
-                        root = next(r for r in results if r.role == "analysis_root")
-                        if root.frames_dropped or root.frames_stale:
-                            outcome = DEGRADED
+                        outcome = _classify_pipeline(results)
+                    elif crashes:
+                        results = run_spmd(
+                            nprocs,
+                            _resilient_exchange_worker,
+                            16,
+                            8,
+                            backend,
+                            transport,
+                            3,
+                            resilient=True,
+                            deadlock_timeout=DEADLOCK_TIMEOUT_S,
+                        )
+                        outcome = _classify_exchange(results)
                     else:
                         run_spmd(
                             nprocs,
@@ -255,6 +394,7 @@ def run_chaos(
                         )
                 finally:
                     injected = FAULTS.stats.total_injected()
+                    stats = FAULTS.stats.snapshot()
         except (RankFailure, SpmdHangError, MpiSimError) as exc:
             outcome, error = _classify_failure(exc)
         except Exception as exc:  # noqa: BLE001 - bare exceptions fail the run
@@ -269,6 +409,7 @@ def run_chaos(
             error=error,
             injected=injected,
             duration_s=time.perf_counter() - started,
+            stats=stats,
         )
         report.runs.append(run)
         if log is not None:
@@ -280,3 +421,29 @@ def run_chaos(
                 + (f"  {error}" if error else "")
             )
     return report
+
+
+def _classify_exchange(results: list) -> str:
+    """Outcome of a resilient exchange run (no exception escaped)."""
+    crashed = any(isinstance(r, RankCrashError) for r in results)
+    survivors = [r for r in results if not isinstance(r, RankCrashError)]
+    if any(degraded for _, degraded in survivors):
+        return DEGRADED
+    if crashed or any(recoveries for recoveries, _ in survivors):
+        return RECOVERED
+    return OK
+
+
+def _classify_pipeline(results: list) -> str:
+    """Outcome of a pipeline run (no exception escaped)."""
+    crashed = any(isinstance(r, RankCrashError) for r in results)
+    root = next(
+        r
+        for r in results
+        if isinstance(r, PipelineResult) and r.role == "analysis_root"
+    )
+    if root.frames_dropped or root.frames_stale:
+        return DEGRADED
+    if crashed or root.recoveries:
+        return RECOVERED
+    return OK

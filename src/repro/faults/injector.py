@@ -111,6 +111,9 @@ class FaultLayer:
         # thread and only touches its own key, so plain dicts are safe.
         self._ops: dict[int, int] = {}
         self._drops: dict[int, int] = {}
+        #: Ranks this layer has killed with ``RankCrashError`` (read by
+        #: ``SpmdHangError`` diagnostics to report them as crashed, not stuck).
+        self._crashed: set[int] = set()
         #: rank -> human description of a retry currently in progress
         #: (read by ``SpmdHangError`` diagnostics).
         self.pending_retries: dict[int, str] = {}
@@ -124,6 +127,7 @@ class FaultLayer:
         self.stats = FaultStats()
         self._ops = {}
         self._drops = {}
+        self._crashed = set()
         self.pending_retries = {}
         self.active = True
 
@@ -135,6 +139,10 @@ class FaultLayer:
 
     def op_count(self, rank: int) -> int:
         return self._ops.get(rank, 0)
+
+    def crashed_ranks(self) -> frozenset[int]:
+        """Ranks this layer has killed (world ranks)."""
+        return frozenset(self._crashed)
 
     def diagnostics(self) -> str:
         """Fault-injection state for hang reports: plan, ops, pending retries."""
@@ -160,6 +168,7 @@ class FaultLayer:
         assert self.plan is not None
         if self.plan.crashes(rank, op):
             self.stats.incr("crashes")
+            self._crashed.add(rank)
             if TRACER.enabled:
                 with TRACER.span("fault.crash", rank=rank, op=op):
                     pass

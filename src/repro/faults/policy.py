@@ -6,7 +6,7 @@ A :class:`ReliabilityPolicy` is consumed at three layers:
   backoff for injected transient send/recv failures, the corruption
   handling mode for checksum mismatches, and the per-operation receive
   deadline that turns a silently dropped message into a prompt, typed
-  :class:`~repro.mpisim.errors.TimeoutError_` instead of a ride on the
+  :class:`~repro.mpisim.errors.DeadlineError` instead of a ride on the
   global deadlock watchdog;
 * **engine** (``repro.core.engine``) — retry budget and backoff for
   exchange rounds that fail at entry (see

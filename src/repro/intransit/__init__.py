@@ -5,6 +5,9 @@ from .pipeline import (
     FRAME_DROP_MODES,
     FRAME_DROP_SKIP,
     FRAME_DROP_STALE,
+    ON_RANK_LOSS_FAIL,
+    ON_RANK_LOSS_MODES,
+    ON_RANK_LOSS_SHRINK,
     PipelineConfig,
     PipelineResult,
     run_pipeline,
@@ -23,6 +26,9 @@ __all__ = [
     "FRAME_DROP_MODES",
     "FRAME_DROP_SKIP",
     "FRAME_DROP_STALE",
+    "ON_RANK_LOSS_FAIL",
+    "ON_RANK_LOSS_MODES",
+    "ON_RANK_LOSS_SHRINK",
     "PipelineConfig",
     "PipelineResult",
     "StreamReceiver",

@@ -24,6 +24,7 @@ from ..lbm.distributed import DistributedLbm
 from ..lbm.simulation import LbmConfig
 from ..mpisim.comm import Communicator
 from ..obs.tracer import TRACER
+from ..resilience.checkpoint import CheckpointPolicy
 from ..viz.colormaps import BLUE_WHITE_RED, GRAYSCALE
 from ..viz.image import assemble_tiles, render_scalar_field
 from ..volren.decompose import grid_boxes, grid_shape
@@ -41,6 +42,13 @@ FRAME_DROP_SKIP = "skip"  # drop the frame, keep rendering later ones
 FRAME_DROP_STALE = "stale"  # substitute the last good data for the region
 
 FRAME_DROP_MODES = (FRAME_DROP_FAIL, FRAME_DROP_SKIP, FRAME_DROP_STALE)
+
+#: Rank-loss policies (``PipelineConfig.on_rank_loss``): what the pipeline
+#: does when a member rank *crashes* (as opposed to a frame going missing).
+ON_RANK_LOSS_FAIL = "fail"  # typed error / abort (pre-resilience behaviour)
+ON_RANK_LOSS_SHRINK = "shrink"  # reconfigure over the survivors and continue
+
+ON_RANK_LOSS_MODES = (ON_RANK_LOSS_FAIL, ON_RANK_LOSS_SHRINK)
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,16 @@ class PipelineConfig:
     data for the missing region so every frame still encodes.
     ``reliability`` threads a :class:`~repro.faults.ReliabilityPolicy`
     into the analysis-side :class:`~repro.core.api.Redistributor`.
+
+    ``on_rank_loss`` selects the crash policy: ``"fail"`` keeps the
+    pre-resilience behaviour (a dead rank surfaces as a typed error or an
+    abort), ``"shrink"`` reconfigures the pipeline over the survivors —
+    consumer loss re-partitions the analysis layout, producer loss
+    restores the lost simulation slab from buddy checkpoints — and
+    replays from the agreed rollback frame (see
+    :mod:`repro.intransit.resilient`).  ``checkpoint`` tunes the buddy
+    replication; ``None`` uses a :class:`~repro.resilience.CheckpointPolicy`
+    that retains every frame.
     """
 
     lbm: LbmConfig
@@ -80,6 +98,8 @@ class PipelineConfig:
     frame_drop: str = FRAME_DROP_FAIL
     frame_deadline_s: Optional[float] = None  # None = reliability policy default
     reliability: Optional[ReliabilityPolicy] = None
+    on_rank_loss: str = ON_RANK_LOSS_FAIL
+    checkpoint: Optional[CheckpointPolicy] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.output_every < 1:
@@ -89,6 +109,15 @@ class PipelineConfig:
                 f"unknown frame_drop {self.frame_drop!r}; choose one of "
                 f"{FRAME_DROP_MODES}"
             )
+        if self.on_rank_loss not in ON_RANK_LOSS_MODES:
+            raise ValueError(
+                f"unknown on_rank_loss {self.on_rank_loss!r}; choose one of "
+                f"{ON_RANK_LOSS_MODES}"
+            )
+        if self.checkpoint is not None and not isinstance(
+            self.checkpoint, CheckpointPolicy
+        ):
+            raise ValueError("checkpoint must be a CheckpointPolicy or None")
         if self.frame_deadline_s is not None and self.frame_deadline_s <= 0:
             raise ValueError("frame_deadline_s must be positive or None")
         if self.reliability is not None and not isinstance(
@@ -139,6 +168,8 @@ class PipelineResult:
     frames_rendered: list = field(default_factory=list)
     frames_dropped: int = 0  # (frame, variable) pairs skipped (frame_drop="skip")
     frames_stale: int = 0  # (frame, variable) pairs rendered with stale data
+    recoveries: int = 0  # shrink-mode reconfigurations this rank survived
+    ranks_lost: int = 0  # members removed across those reconfigurations
 
     @property
     def data_reduction(self) -> float:
@@ -163,6 +194,12 @@ class PipelineResult:
 
 def run_pipeline(world: Communicator, config: PipelineConfig) -> PipelineResult:
     """SPMD entry point: call on every rank of a (m + n)-rank world."""
+    if config.on_rank_loss == ON_RANK_LOSS_SHRINK:
+        # Deferred import: the resilient runner pulls in the recovery
+        # stack, which plain fail-mode pipelines never need.
+        from .resilient import run_resilient_pipeline
+
+        return run_resilient_pipeline(world, config)
     topology = StreamTopology(config.m, config.n, config.lbm.nx, config.lbm.ny)
     if world.size != topology.world_size():
         raise ValueError(

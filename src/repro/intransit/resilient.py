@@ -1,0 +1,434 @@
+"""Shrink-mode pipeline: survive rank crashes by reconfiguring M-to-N.
+
+``PipelineConfig(on_rank_loss="shrink")`` routes here.  Both roles run a
+resumable per-frame loop; when any member rank crashes, the first rank to
+notice revokes the world communicator (waking every survivor out of
+whatever stream/halo/exchange operation it was blocked in), and all
+survivors run the same recovery protocol on the fabric's crash-proof
+agreement plane:
+
+1. agree on the union of observed dead (and cleanly retired) ranks;
+2. agree on the rollback frame — the minimum frame any survivor still
+   needs, forced to 0 when the analysis root (the ledger holder) died;
+3. shrink the world; roles are fixed by *original* world rank, so the
+   survivor ordering keeps simulation ranks first and the topology is
+   simply rebuilt with ``m' = |surviving sims|``, ``n' = |surviving
+   analysis|`` (``ReconfigurationError`` if ``n' < 1`` or ``m' < n'``);
+4. **producer loss**: every simulation rank deposits its interior LBM
+   populations into a buddy checkpoint store at the start of each frame,
+   so the survivors restore the rollback frame's global state — dead
+   ranks' slabs from their buddies — and migrate it onto the new slab
+   decomposition with a components=9 DDR exchange;
+5. **consumer loss**: the analysis layout is re-partitioned over the
+   surviving consumers and a fresh redistributor is set up;
+6. both sides replay from the rollback frame.  The LBM is deterministic
+   and the analysis ledger is keyed by frame, so a replayed frame
+   overwrites rather than double-counts and the finished run's output is
+   bitwise identical to a fault-free run (unless a restore had to fall
+   back to an older checkpoint, which surfaces as stale frames).
+
+Ranks that finish their frame loop retire from the fabric's liveness
+table, so late crashes elsewhere never hang an agreement on them; their
+checkpoints stay readable (a clean shutdown flushes replicas), letting a
+survivor adopt and replay a retired producer's slab too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core.api import Redistributor
+from ..io.raw import raw_frame_bytes, write_raw
+from ..jpeg.encoder import encode_rgb
+from ..lbm.decompose import slab_box
+from ..lbm.distributed import DistributedLbm
+from ..mpisim.comm import Communicator
+from ..mpisim.errors import (
+    DeadlineError,
+    MpiSimError,
+    ProcessFailedError,
+    RankCrashError,
+    RevokedError,
+)
+from ..obs.tracer import TRACER
+from ..resilience.checkpoint import CheckpointPolicy, shared_store
+from ..resilience.errors import DataLossError, ReconfigurationError
+from ..resilience.redistributor import RESILIENCE_STATS
+from ..viz.image import assemble_tiles
+from ..volren.decompose import grid_boxes, grid_shape
+from .pipeline import (
+    FRAME_DROP_FAIL,
+    FRAME_DROP_SKIP,
+    PipelineConfig,
+    PipelineResult,
+    _render_variable,
+    _sim_fields,
+)
+from .stream import StreamReceiver, StreamSender, StreamTopology
+
+#: Fabric.shared key for the simulation-state checkpoint store (kept apart
+#: from the exchange-level buddy store of ResilientRedistributor).
+STATE_STORE_KEY = "pipeline_state_store"
+
+#: Reconfigurations one rank will attempt before giving up.
+MAX_RECOVERIES = 3
+
+
+def run_resilient_pipeline(
+    world: Communicator, config: PipelineConfig
+) -> PipelineResult:
+    """SPMD entry point for ``on_rank_loss="shrink"`` pipelines."""
+    if world.size != config.m + config.n:
+        raise ValueError(
+            f"world has {world.size} ranks; config needs {config.m + config.n}"
+        )
+    return _ResilientPipeline(world, config).run()
+
+
+class _ResilientPipeline:
+    """Per-rank state machine; communicator state is rebuilt on recovery."""
+
+    def __init__(self, world: Communicator, config: PipelineConfig) -> None:
+        self.config = config
+        self.world = world
+        # Simulation state is checkpointed per frame; every frame must stay
+        # restorable, so the default policy retains all of them.
+        self.policy = config.checkpoint or CheckpointPolicy(retain=None)
+        self.store = shared_store(world.fabric, key=STATE_STORE_KEY)
+        # Roles are pinned to the *original* world ranks; shrink preserves
+        # ordering, so sims always precede analysis in the current world.
+        self.sim_members = list(world.world_ranks[: config.m])
+        self.analysis_members = list(world.world_ranks[config.m :])
+        self.my_world = world.world_rank_of(world.rank)
+        self.is_sim = self.my_world in self.sim_members
+        self.recoveries = 0
+        self.ranks_lost = 0
+        self.ledger: dict = {}  # (frame, var_index) -> entry, analysis root only
+        self._rebuild(restart=None, old_sim_members=None, dead=frozenset())
+
+    # -- (re)construction ----------------------------------------------------
+
+    def _rebuild(
+        self,
+        restart: Optional[int],
+        old_sim_members: Optional[list],
+        dead: frozenset,
+    ) -> None:
+        config = self.config
+        m, n = len(self.sim_members), len(self.analysis_members)
+        self.topology = StreamTopology(m, n, config.lbm.nx, config.lbm.ny)
+        self.sub = self.world.Split(0 if self.is_sim else 1, key=self.world.rank)
+        assert self.sub is not None
+        self.root_world = self.analysis_members[0]
+        if self.is_sim:
+            self._rebuild_sim(restart, old_sim_members, dead)
+        else:
+            self._rebuild_analysis()
+
+    def _rebuild_sim(
+        self,
+        restart: Optional[int],
+        old_sim_members: Optional[list],
+        dead: frozenset,
+    ) -> None:
+        self.slab = self.topology.sim_slab(self.sub.rank)
+        self.sender = StreamSender(self.world, self.topology, self.sub.rank)
+        self.sim = DistributedLbm(self.sub, self.config.lbm)
+        if restart is not None:
+            assert old_sim_members is not None
+            self._migrate_state(restart, old_sim_members, dead)
+
+    def _migrate_state(
+        self, restart: int, old_sim_members: list, dead: frozenset
+    ) -> None:
+        """Restore the global LBM state at frame ``restart`` onto the new
+        slab decomposition: own slabs from self-checkpoints, dead (or
+        retired) ranks' slabs from their buddies, moved with a
+        components=9 redistribution over the surviving simulation comm."""
+        config = self.config
+        crashed = frozenset(self.world.fabric.dead_ranks())
+        survivors = [w for w in old_sim_members if w not in dead]
+        own_boxes, buffers = [], []
+        for index, owner in enumerate(old_sim_members):
+            box = slab_box(config.lbm.nx, config.lbm.ny, len(old_sim_members), index)
+            if owner == self.my_world:
+                mine = True
+            elif owner in dead:
+                holders = self.policy.holder_world_ranks(index, old_sim_members)
+                live = [w for w in holders if w not in dead]
+                adopter = live[0] if live else survivors[0]
+                mine = adopter == self.my_world
+            else:
+                mine = False
+            if not mine:
+                continue
+            got = self.store.fetch(box, restart, crashed)
+            if got is None:
+                raise DataLossError(
+                    f"no live checkpoint holder for simulation slab {box} "
+                    f"at frame {restart}",
+                    lost_boxes=(box,),
+                )
+            state, exact = got
+            if not exact:
+                RESILIENCE_STATS.incr("stale_restores")
+            own_boxes.append(box)
+            buffers.append(state)
+        with TRACER.span("resilience.state_migration", rank=self.my_world):
+            mover = Redistributor(
+                self.sub, ndims=2, dtype=self.sim.f.dtype, components=9
+            )
+            mover.setup(own=own_boxes, need=self.slab, validate=False)
+            migrated = mover.gather_need(buffers)
+        self.sim.f[:, 1:-1, :] = np.moveaxis(migrated, -1, 0)
+        self.sim.step_count = restart * config.output_every
+
+    def _rebuild_analysis(self) -> None:
+        config = self.config
+        nx, ny = config.lbm.nx, config.lbm.ny
+        self.receiver = StreamReceiver(self.world, self.topology, self.sub.rank)
+        grid = grid_shape(len(self.analysis_members), (nx, ny))
+        self.need = grid_boxes((nx, ny), grid)[self.sub.rank]
+        self.red = Redistributor(
+            self.sub,
+            ndims=2,
+            dtype=np.float32,
+            backend=config.backend,
+            reliability=config.reliability,
+        )
+        self.red.setup(own=self.receiver.owned_chunks, need=self.need)
+        self.tile_buffer = np.empty(self.need.np_shape(), dtype=np.float32)
+        self.last_slabs = {
+            i: [
+                np.zeros(slab.np_shape(), dtype=np.float32)
+                for _, slab in self.receiver.sources
+            ]
+            for i in range(len(config.variables))
+        }
+        self.origin = (self.need.offset[1], self.need.offset[0])
+
+    # -- the frame loop ------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        frame = 0
+        while frame < self.config.n_frames:
+            try:
+                if self.is_sim:
+                    self._sim_frame(frame)
+                else:
+                    self._analysis_frame(frame)
+                frame += 1
+            except MpiSimError as exc:
+                if not self._recoverable(exc):
+                    raise
+                frame = self._recover(frame)
+        # Clean exit: leave the liveness table so late agreements elsewhere
+        # don't wait on us; our checkpoints stay readable for adoption.
+        self.world.fabric.mark_retired(self.my_world)
+        return self._result()
+
+    def _recoverable(self, exc: MpiSimError) -> bool:
+        if self.recoveries >= MAX_RECOVERIES:
+            return False
+        if isinstance(exc, RankCrashError):
+            return False  # this rank is the victim
+        if isinstance(exc, (DataLossError, ReconfigurationError)):
+            return False  # terminal by definition
+        if isinstance(exc, (RevokedError, ProcessFailedError)):
+            return True
+        if isinstance(exc, DeadlineError):
+            fabric = self.world.fabric
+            return any(fabric.is_dead(w) for w in self.world.world_ranks)
+        return False
+
+    def _sim_frame(self, frame: int) -> None:
+        config = self.config
+        # Deposit *before* stepping (pure memory, cannot fault): the state
+        # entering frame f is what a rollback to f must restore.
+        holders = self.policy.holder_world_ranks(self.sub.rank, self.sim_members)
+        self.store.deposit(
+            self.my_world,
+            frame,
+            holders,
+            [(self.slab, np.moveaxis(self.sim.interior, 0, -1))],
+            retain=self.policy.retain,
+        )
+        RESILIENCE_STATS.incr("deposits")
+        with TRACER.span("phase.sim_step", frame=frame):
+            self.sim.step(config.output_every)
+            fields = _sim_fields(self.sim, config.variables)
+        for var_index, name in enumerate(config.variables):
+            with TRACER.span("phase.stream_send", frame=frame, variable=name):
+                self.sender.send_frame(frame, fields[name], var_index)
+
+    def _analysis_frame(self, frame: int) -> None:
+        config = self.config
+        deadline_s = config.effective_frame_deadline_s
+        for var_index, name in enumerate(config.variables):
+            status = "ok"
+            with TRACER.span("phase.stream_recv", frame=frame, variable=name):
+                if config.frame_drop == FRAME_DROP_FAIL:
+                    slabs = self.receiver.recv_frame(frame, var_index)
+                else:
+                    slabs = self.receiver.try_recv_frame(
+                        frame, var_index, deadline_s
+                    )
+                    if slabs is None:
+                        status = (
+                            "dropped"
+                            if config.frame_drop == FRAME_DROP_SKIP
+                            else "stale"
+                        )
+            if status == "ok":
+                self.last_slabs[var_index] = slabs
+            else:
+                slabs = self.last_slabs[var_index]
+            with TRACER.span("phase.redistribute", frame=frame, variable=name):
+                self.red.exchange(slabs, self.tile_buffer)
+
+            tile_rgb = None
+            if status != "dropped":
+                with TRACER.span("phase.render", frame=frame, variable=name):
+                    tile_rgb = _render_variable(self.tile_buffer, name, config)
+            want_raw = (
+                var_index == 0 and config.save_raw and self._is_raw_frame(frame)
+            )
+            raw_tile = (
+                self.tile_buffer.copy()
+                if want_raw and status != "dropped"
+                else None
+            )
+            gathered = self.sub.gather(
+                (self.origin, tile_rgb, raw_tile, status), root=0
+            )
+            if self.sub.rank != 0:
+                continue
+            assert gathered is not None
+            self._record(frame, var_index, name, gathered, want_raw)
+
+    def _is_raw_frame(self, frame: int) -> bool:
+        return (
+            self.config.raw_every_frames is None
+            or frame % self.config.raw_every_frames == 0
+        )
+
+    def _record(
+        self, frame: int, var_index: int, name: str, gathered: list, want_raw: bool
+    ) -> None:
+        """Root-side per-(frame, variable) ledger entry.
+
+        Keyed writes make replay idempotent: a frame re-processed after a
+        reconfiguration overwrites its earlier entry instead of counting
+        twice.  Totals are assembled once the loop finishes.
+        """
+        config = self.config
+        nx, ny = config.lbm.nx, config.lbm.ny
+        statuses = [s for _, _, _, s in gathered]
+        if "dropped" in statuses:
+            self.ledger[(frame, var_index)] = {"status": "dropped"}
+            return
+        entry: dict = {"status": "stale" if "stale" in statuses else "ok"}
+        with TRACER.span("phase.encode", frame=frame, variable=name):
+            frame_rgb = assemble_tiles(
+                [(o, rgb) for o, rgb, _, _ in gathered], (ny, nx)
+            )
+            blob = encode_rgb(frame_rgb, quality=config.quality)
+        entry["jpeg"] = len(blob)
+        if var_index == 0 and config.keep_frames:
+            entry["rgb"] = frame_rgb
+        if config.save_dir is not None:
+            directory = Path(config.save_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            suffix = "" if len(config.variables) == 1 else f"_{name}"
+            (directory / f"frame_{frame:05d}{suffix}.jpg").write_bytes(blob)
+            if want_raw and all(tf is not None for _, _, tf, _ in gathered):
+                raw = np.zeros((ny, nx), dtype=np.float32)
+                for (r0, c0), _, tile_field, _ in gathered:
+                    th, tw = tile_field.shape
+                    raw[r0 : r0 + th, c0 : c0 + tw] = tile_field
+                write_raw(directory / f"frame_{frame:05d}.raw", raw)
+        self.ledger[(frame, var_index)] = entry
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self, frame: int) -> int:
+        """Revoke, agree, shrink, reconfigure; returns the rollback frame."""
+        self.recoveries += 1
+        RESILIENCE_STATS.incr("pipeline_recoveries")
+        fabric = self.world.fabric
+        with TRACER.span("resilience.pipeline_recover", rank=self.my_world):
+            self.world.revoke()
+            observed = frozenset(
+                w for w in self.world.world_ranks if fabric.is_gone(w)
+            )
+            dead = frozenset(
+                self.world.agree(observed, combine=lambda a, b: a | b)
+            )
+            # The ledger lives on the analysis root; if it died, nothing
+            # before the crash is accounted for, so everything replays.
+            contribution = 0 if self.root_world in dead else frame
+            restart = int(self.world.agree(contribution, combine=min))
+            old_sim_members = list(self.sim_members)
+            self.sim_members = [w for w in self.sim_members if w not in dead]
+            self.analysis_members = [
+                w for w in self.analysis_members if w not in dead
+            ]
+            self.ranks_lost += len(dead)
+            RESILIENCE_STATS.incr("ranks_lost", len(dead))
+            if (
+                not self.analysis_members
+                or len(self.sim_members) < len(self.analysis_members)
+            ):
+                raise ReconfigurationError(
+                    "cannot reconfigure the pipeline over the survivors: "
+                    f"{len(self.sim_members)} simulation and "
+                    f"{len(self.analysis_members)} analysis ranks remain"
+                )
+            self.world = self.world.shrink(dead=dead)
+            self._rebuild(restart=restart, old_sim_members=old_sim_members, dead=dead)
+        return restart
+
+    # -- result assembly -----------------------------------------------------
+
+    def _result(self) -> PipelineResult:
+        config = self.config
+        if self.is_sim:
+            return PipelineResult(
+                role="sim",
+                frames=config.n_frames,
+                recoveries=self.recoveries,
+                ranks_lost=self.ranks_lost,
+            )
+        is_root = self.sub.rank == 0
+        result = PipelineResult(
+            role="analysis_root" if is_root else "analysis",
+            recoveries=self.recoveries,
+            ranks_lost=self.ranks_lost,
+        )
+        if not is_root:
+            return result
+        nx, ny = config.lbm.nx, config.lbm.ny
+        for frame in range(config.n_frames):
+            result.frames += 1
+            result.raw_bytes += raw_frame_bytes(nx, ny) * len(config.variables)
+            if config.raw_every_frames is not None and self._is_raw_frame(frame):
+                result.dual_raw_bytes += raw_frame_bytes(nx, ny)
+            for var_index, name in enumerate(config.variables):
+                entry = self.ledger.get((frame, var_index))
+                if entry is None:
+                    continue
+                if entry["status"] == "dropped":
+                    result.frames_dropped += 1
+                    continue
+                if entry["status"] == "stale":
+                    result.frames_stale += 1
+                result.jpeg_bytes += entry["jpeg"]
+                result.jpeg_bytes_by_variable[name] = (
+                    result.jpeg_bytes_by_variable.get(name, 0) + entry["jpeg"]
+                )
+                if var_index == 0 and config.keep_frames:
+                    result.frames_rendered.append(entry["rgb"])
+        return result

@@ -20,6 +20,7 @@ import numpy as np
 from ..core.box import Box
 from ..lbm.decompose import slab_box
 from ..mpisim.comm import Communicator
+from ..mpisim.errors import ProcessFailedError, RevokedError
 from ..volren.decompose import split_extent
 
 #: Tag base for frame payloads.  The tag encodes (frame, variable):
@@ -149,6 +150,12 @@ class StreamReceiver:
         straggles in later sits in the mailbox under its own tag and can
         never cross-match another frame's receive.  Senders are eager
         (buffered at post time), so nobody blocks on the abandoned frame.
+
+        A *crashed* producer is not a straggler: if a pending source rank
+        is known dead, this raises :class:`ProcessFailedError` (and
+        :class:`RevokedError` on a revoked world) instead of waiting out
+        the deadline, so rank loss reaches the recovery machinery rather
+        than masquerading as an ordinary slow frame.
         """
         out = [
             np.empty(slab.np_shape(), dtype=np.float32) for _, slab in self.sources
@@ -160,10 +167,26 @@ class StreamReceiver:
             for buffer, (sim_rank, _) in zip(out, self.sources)
         ]
         deadline = time.monotonic() + deadline_s
-        pending = list(requests)
+        pending = list(zip(requests, (rank for rank, _ in self.sources)))
         while pending:
-            self.world.fabric.check_abort()
-            pending = [request for request in pending if not request.test()]
+            fabric = self.world.fabric
+            fabric.check_abort()
+            if fabric.hazard:
+                if self.world.revoked:
+                    raise RevokedError(
+                        "stream world communicator was revoked while waiting "
+                        f"for frame {frame_index}"
+                    )
+                for _, sim_rank in pending:
+                    source_world = self.world.world_rank_of(sim_rank)
+                    if fabric.is_dead(source_world):
+                        raise ProcessFailedError(
+                            f"producer rank {sim_rank} (world {source_world}) "
+                            f"crashed; frame {frame_index} will never arrive"
+                        )
+            pending = [
+                (request, rank) for request, rank in pending if not request.test()
+            ]
             if not pending:
                 break
             if time.monotonic() >= deadline:

@@ -52,7 +52,14 @@ from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
 from ..utils.timing import TRANSFER_COUNTERS
 from .datatypes import Datatype, named_type_for
-from .errors import AbortError, CommunicatorError, TimeoutError_, TruncationError
+from .errors import (
+    AbortError,
+    CommunicatorError,
+    DeadlineError,
+    ProcessFailedError,
+    RevokedError,
+    TruncationError,
+)
 from .request import CompletedRequest, DeferredRequest, Request, Status
 
 ANY_SOURCE = -1
@@ -122,13 +129,21 @@ class _ZeroCopyHandle:
     a real MPI sender would for a receiver-local truncation error.
     """
 
-    __slots__ = ("buffer", "datatype", "done", "error")
+    __slots__ = ("buffer", "datatype", "done", "error", "dest_world")
 
-    def __init__(self, buffer: np.ndarray, datatype: Optional[Datatype]) -> None:
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        datatype: Optional[Datatype],
+        dest_world: Optional[int] = None,
+    ) -> None:
         self.buffer = buffer
         self.datatype = datatype
         self.done = threading.Event()
         self.error: Optional[BaseException] = None
+        #: World rank of the receiver, so a sender blocked in the rendezvous
+        #: can notice (via the liveness table) that its receiver died.
+        self.dest_world = dest_world
 
     def size_elements(self) -> int:
         if self.datatype is not None:
@@ -196,6 +211,23 @@ class Fabric:
         self._conds = [threading.Condition(lock) for lock in self._locks]
         self._mailboxes: dict[tuple[Hashable, int], deque[_Message]] = {}
         self._abort_exc: Optional[BaseException] = None
+        #: ULFM-style failure state.  ``hazard`` is the single attribute the
+        #: hot path checks (the FAULTS/TRACER discipline): it flips to True
+        #: the first time a rank dies, retires, or a communicator is
+        #: revoked, and never flips back during a run, so the fault-free
+        #: cost is one attribute load per operation.
+        self.hazard = False
+        self._dead: set[int] = set()         # crashed world ranks
+        self._retired: set[int] = set()      # ranks that exited cleanly early
+        self._gone: frozenset[int] = frozenset()  # dead | retired, for checks
+        self._revoked: set[Hashable] = set()  # revoked communicator ids
+        self._state_lock = threading.Lock()
+        #: Cross-rank blackboard for layers built on top of the fabric (the
+        #: resilience package keeps its buddy checkpoint store here), so
+        #: higher layers get process-shared state without import cycles.
+        self.shared: dict[str, Any] = {}
+        self.shared_lock = threading.Lock()
+        self._agreements: dict[Hashable, dict[str, Any]] = {}
 
     # -- abort ------------------------------------------------------------
 
@@ -213,6 +245,126 @@ class Fabric:
     def check_abort(self) -> None:
         if self._abort_exc is not None:
             raise AbortError(f"peer rank failed: {self._abort_exc!r}") from self._abort_exc
+
+    # -- liveness + revocation (ULFM-style) --------------------------------
+
+    def _wake_all(self) -> None:
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+
+    def mark_dead(self, world_rank: int) -> None:
+        """Record a crashed rank in the liveness table and wake every waiter.
+
+        Blocked operations involving the dead rank then raise a prompt
+        :class:`ProcessFailedError` instead of waiting out a timeout.
+        """
+        with self._state_lock:
+            self._dead.add(world_rank)
+            self._gone = frozenset(self._dead | self._retired)
+        self.hazard = True
+        self._wake_all()
+
+    def mark_retired(self, world_rank: int) -> None:
+        """Record a rank that finished its work and exited early.
+
+        For liveness purposes a retired rank behaves like a dead one — it
+        will never contribute to an agreement or send another message —
+        but its already-sent messages stay deliverable and diagnostics
+        report it as retired, not crashed.
+        """
+        with self._state_lock:
+            self._retired.add(world_rank)
+            self._gone = frozenset(self._dead | self._retired)
+        self.hazard = True
+        self._wake_all()
+
+    def is_dead(self, world_rank: int) -> bool:
+        return world_rank in self._dead
+
+    def is_gone(self, world_rank: int) -> bool:
+        """Dead or retired: the rank will never take part in another op."""
+        return world_rank in self._gone
+
+    def dead_ranks(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def gone_ranks(self) -> frozenset[int]:
+        return self._gone
+
+    def revoke(self, comm_id: Hashable) -> None:
+        """Revoke a communicator: every pending or future operation on it
+        (or on a communicator derived from it — lineage is checked) raises
+        :class:`RevokedError`.  Idempotent; wakes all waiters."""
+        with self._state_lock:
+            self._revoked.add(comm_id)
+        self.hazard = True
+        self._wake_all()
+
+    def is_revoked(self, lineage: Sequence[Hashable]) -> bool:
+        revoked = self._revoked
+        if not revoked:
+            return False
+        return not revoked.isdisjoint(lineage)
+
+    def check_hazard(
+        self,
+        lineage: Sequence[Hashable],
+        source_world: Optional[int],
+        my_world: int,
+    ) -> None:
+        """Raise the typed ULFM error for a blocked op, if one applies.
+
+        Callers only invoke this under ``self.hazard``; messages already in
+        the mailbox are always drained first, so traffic a rank managed to
+        send before dying remains deliverable.
+        """
+        if self._revoked and not self._revoked.isdisjoint(lineage):
+            raise RevokedError(
+                f"communicator {lineage[-1]!r} was revoked while rank "
+                f"(world {my_world}) had a pending operation"
+            )
+        if source_world is not None and source_world in self._gone:
+            kind = "crashed" if source_world in self._dead else "retired"
+            raise ProcessFailedError(
+                f"rank (world {my_world}) is waiting on world rank "
+                f"{source_world}, which has {kind} and will never respond"
+            )
+
+    # -- fault-aware agreement ---------------------------------------------
+
+    def agree_contribute(self, key: Hashable, world_rank: int, value: Any) -> None:
+        with self._state_lock:
+            entry = self._agreements.setdefault(key, {"values": {}, "reads": set()})
+            entry["values"][world_rank] = value
+        self._wake_all()
+
+    def agree_poll(self, key: Hashable, members: Sequence[int]) -> Optional[dict[int, Any]]:
+        """Return the contribution map once every live member contributed.
+
+        Membership is re-evaluated against the liveness table on every
+        poll, so a member dying mid-agreement unblocks the survivors.  The
+        map only ever grows and dead ranks never contribute afterwards, so
+        every caller that completes folds the same contribution set.
+        """
+        with self._state_lock:
+            entry = self._agreements.setdefault(key, {"values": {}, "reads": set()})
+            values = entry["values"]
+            gone = self._gone
+            if all(w in values for w in members if w not in gone):
+                return dict(values)
+            return None
+
+    def agree_finish(self, key: Hashable, world_rank: int, members: Sequence[int]) -> None:
+        """Garbage-collect an agreement once every live member has read it."""
+        with self._state_lock:
+            entry = self._agreements.get(key)
+            if entry is None:
+                return
+            entry["reads"].add(world_rank)
+            gone = self._gone
+            if all(w in entry["reads"] for w in members if w not in gone):
+                self._agreements.pop(key, None)
 
     # -- mailbox operations -------------------------------------------------
 
@@ -256,13 +408,22 @@ class Fabric:
         my_world: int,
         match: Callable[[_Message], bool],
         deadline_s: Optional[float] = None,
+        source_world: Optional[int] = None,
+        lineage: Optional[Sequence[Hashable]] = None,
     ) -> _Message:
-        """Blocking matched receive with abort and deadlock handling.
+        """Blocking matched receive with abort, failure, and deadlock handling.
 
         ``deadline_s`` (from a :class:`~repro.faults.ReliabilityPolicy`'s
         per-operation deadline) bounds this one receive below the global
         deadlock timeout, so a dropped message surfaces as a prompt, typed
-        :class:`TimeoutError_` instead of a full watchdog wait.
+        :class:`DeadlineError` instead of a full watchdog wait.
+
+        ``source_world``/``lineage`` feed the liveness and revocation
+        checks: if the awaited source is known dead (and no matching
+        message is already queued) or the communicator is revoked, the
+        wait ends in a typed error instead of a hang.  Both checks run
+        only under :attr:`hazard`, and only after the mailbox scan, so
+        messages sent before a crash stay deliverable.
         """
         timeout = self.deadlock_timeout
         per_op = deadline_s is not None and deadline_s < timeout
@@ -276,16 +437,22 @@ class Fabric:
                 found = self._scan(comm_id, my_world, match)
                 if found is not None:
                     return found
+                if self.hazard:
+                    self.check_hazard(
+                        lineage if lineage is not None else (comm_id,),
+                        source_world,
+                        my_world,
+                    )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     if per_op:
-                        raise TimeoutError_(
+                        raise DeadlineError(
                             f"rank (world {my_world}) got no matching message on "
                             f"comm {comm_id!r} within the {timeout}s per-operation "
                             f"deadline; message lost or peer stalled "
                             f"({FAULTS.diagnostics()})"
                         )
-                    raise TimeoutError_(
+                    raise DeadlineError(
                         f"rank (world {my_world}) blocked > {self.deadlock_timeout}s "
                         f"waiting on comm {comm_id!r}; likely deadlock"
                     )
@@ -412,12 +579,25 @@ class Communicator:
         comm_id: Hashable,
         world_ranks: Sequence[int],
         rank: int,
+        lineage: Optional[Sequence[Hashable]] = None,
     ) -> None:
         self.fabric = fabric
         self.comm_id = comm_id
         self._world_ranks = tuple(world_ranks)
         self._rank = rank
         self._coll_seq = 0
+        #: This communicator's id plus every ancestor it was derived from
+        #: (Split/Dup chain).  Revoking an ancestor revokes every descendant;
+        #: ``shrink`` starts a fresh lineage so survivors can rebuild on a
+        #: clean communicator even though the parent is revoked.
+        self._lineage: tuple[Hashable, ...] = (
+            tuple(lineage) + (comm_id,) if lineage is not None else (comm_id,)
+        )
+        # agree/shrink keep their own sequence counters: after a crash the
+        # survivors' collective counters may have diverged, but recovery
+        # protocols call agree/shrink in lockstep.
+        self._agree_seq = 0
+        self._shrink_seq = 0
         #: Per-endpoint transport override; ``None`` follows the process-wide
         #: default.  Endpoints are per-rank objects, so this is thread-safe.
         self.transport: Optional[str] = None
@@ -449,9 +629,122 @@ class Communicator:
     def world_rank_of(self, rank: int) -> int:
         return self._world_ranks[rank]
 
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """World ranks of every member, in communicator rank order."""
+        return self._world_ranks
+
     def _check_rank(self, rank: int, what: str) -> None:
         if not (0 <= rank < self.size):
             raise CommunicatorError(f"{what} {rank} out of range for size {self.size}")
+
+    # -- ULFM-style fault tolerance -----------------------------------------
+
+    @property
+    def revoked(self) -> bool:
+        return self.fabric.hazard and self.fabric.is_revoked(self._lineage)
+
+    def peer_failed(self, rank: int) -> bool:
+        """True if the liveness table says this member crashed or retired."""
+        return self.fabric.hazard and self.fabric.is_gone(self._world_ranks[rank])
+
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Members (communicator ranks) the liveness table knows are gone."""
+        if not self.fabric.hazard:
+            return ()
+        gone = self.fabric.gone_ranks()
+        return tuple(r for r, w in enumerate(self._world_ranks) if w in gone)
+
+    def revoke(self) -> None:
+        """Revoke this communicator and every one derived from it.
+
+        All pending and future operations on revoked communicators raise
+        :class:`RevokedError`; ``agree`` and ``shrink`` still complete, so
+        survivors use ``revoke`` to kick every peer out of whatever
+        collective it is blocked in before rebuilding.  Idempotent.
+        """
+        self.fabric.revoke(self.comm_id)
+
+    def agree(
+        self,
+        value: Any = True,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> Any:
+        """Fault-tolerant agreement (ULFM ``MPIX_Comm_agree``).
+
+        Completes even on a revoked communicator and even when members
+        have crashed: completion requires a contribution from every member
+        still live in the executor's liveness table, re-evaluated as
+        deaths are recorded.  The result folds *all* contributions present
+        (including from ranks that died after contributing) in world-rank
+        order with ``combine`` (default: logical AND via ``a and b``), so
+        every completing member computes the same value.
+
+        Survivors must call ``agree`` in the same order (its sequence
+        counter is independent of the regular collectives, whose counters
+        may have diverged at the moment of a crash).
+        """
+        fab = self.fabric
+        self._agree_seq += 1
+        key = ("agree", self.comm_id, self._agree_seq)
+        my_world = self._world_ranks[self._rank]
+        fab.agree_contribute(key, my_world, value)
+        if combine is None:
+            combine = lambda a, b: a and b  # noqa: E731
+        deadline = time.monotonic() + fab.deadlock_timeout
+        cond = fab._conds[my_world]
+        while True:
+            fab.check_abort()
+            values = fab.agree_poll(key, self._world_ranks)
+            if values is not None:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineError(
+                    f"agree on comm {self.comm_id!r} blocked > "
+                    f"{fab.deadlock_timeout}s; a member neither contributed "
+                    f"nor was declared dead"
+                )
+            with cond:
+                cond.wait(timeout=min(0.25, remaining))
+        result: Any = None
+        first = True
+        for world in sorted(values):
+            result = values[world] if first else combine(result, values[world])
+            first = False
+        fab.agree_finish(key, my_world, self._world_ranks)
+        return result
+
+    def shrink(self, dead: Optional[frozenset[int]] = None) -> "Communicator":
+        """Build a dense-ranked survivor communicator (ULFM ``MPIX_Comm_shrink``).
+
+        The failed set comes from the executor's liveness table, not
+        timeouts: every survivor contributes its view of the dead/retired
+        world ranks and the agreed union is excluded.  Pass ``dead`` (an
+        agreed set of world ranks) to skip the internal agreement when the
+        caller already ran one.  Survivors keep their relative order and
+        are renumbered densely from 0.  The new communicator starts a
+        fresh lineage, so it works even though its parent is revoked.
+        """
+        if dead is None:
+            observed = frozenset(
+                w for w in self._world_ranks if self.fabric.is_gone(w)
+            )
+            dead = self.agree(observed, combine=lambda a, b: a | b)
+        survivors = tuple(w for w in self._world_ranks if w not in dead)
+        my_world = self._world_ranks[self._rank]
+        if my_world not in survivors:
+            raise CommunicatorError(
+                f"rank (world {my_world}) is in the agreed failed set and "
+                f"cannot join the shrunken communicator"
+            )
+        self._shrink_seq += 1
+        new_id = ("shrink", self.comm_id, self._shrink_seq)
+        new_comm = Communicator(
+            self.fabric, new_id, survivors, survivors.index(my_world)
+        )
+        new_comm.transport = self.transport
+        return new_comm
 
     # -- tracing hooks -------------------------------------------------------
     #
@@ -570,7 +863,7 @@ class Communicator:
         datatype: Optional[Datatype],
         status: Optional[Status],
     ) -> Status:
-        message = self._consume(self._match(source, tag, internal=False))
+        message = self._consume(self._match(source, tag, internal=False), source)
         nbytes = _receive_payload(buf, datatype, message)
         result = status or Status()
         result.source, result.tag, result.count_bytes = message.source, message.tag, nbytes
@@ -602,7 +895,7 @@ class Communicator:
         def wait_fn() -> Status:
             message = stash.pop("msg", None)
             if message is None:
-                message = self._consume(match)
+                message = self._consume(match, source)
             nbytes = _receive_payload(buf, datatype, message)
             return Status(source=message.source, tag=message.tag, count_bytes=nbytes)
 
@@ -686,7 +979,7 @@ class Communicator:
         self._post(dest, _Message(self._rank, tag, False, _safe_copy(obj)))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        message = self._consume(self._match(source, tag, internal=False))
+        message = self._consume(self._match(source, tag, internal=False), source)
         payload = message.payload
         if isinstance(payload, _ZeroCopyHandle):
             # A rendezvous (uppercase) send drained by the object API:
@@ -743,7 +1036,7 @@ class Communicator:
                     message = _Message(self._rank, self._coll_tag(seq), True, _safe_copy(obj))
                     self._post(dest, message)
             return obj
-        message = self._consume(self._match(root, self._coll_tag(seq), internal=True))
+        message = self._consume(self._match(root, self._coll_tag(seq), internal=True), root)
         return message.payload
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list[Any]]:
@@ -755,7 +1048,7 @@ class Communicator:
             for source in range(self.size):
                 if source != root:
                     message = self._consume(
-                        self._match(source, self._coll_tag(seq), internal=True)
+                        self._match(source, self._coll_tag(seq), internal=True), source
                     )
                     out[source] = message.payload
             return out
@@ -775,7 +1068,7 @@ class Communicator:
                         _Message(self._rank, self._coll_tag(seq), True, _safe_copy(objs[dest])),
                     )
             return _safe_copy(objs[root])
-        message = self._consume(self._match(root, self._coll_tag(seq), internal=True))
+        message = self._consume(self._match(root, self._coll_tag(seq), internal=True), root)
         return message.payload
 
     def allgather(self, obj: Any) -> list[Any]:
@@ -794,7 +1087,7 @@ class Communicator:
         out[self._rank] = _safe_copy(objs[self._rank])
         for source in range(self.size):
             if source != self._rank:
-                message = self._consume(self._match(source, tag, internal=True))
+                message = self._consume(self._match(source, tag, internal=True), source)
                 out[source] = message.payload
         return out
 
@@ -888,7 +1181,7 @@ class Communicator:
                     self._coll_send(chunk, dest, seq)
         else:
             message = self._consume(
-                self._match(root, self._coll_tag(seq), internal=True)
+                self._match(root, self._coll_tag(seq), internal=True), root
             )
             if message.payload.size > recv_flat.size:
                 raise TruncationError(
@@ -1077,7 +1370,9 @@ class Communicator:
                 # Validate geometry sender-side (as pack would) so errors
                 # surface on the offending rank, then post the reference.
                 datatype.view(sendbuf)
-                handle = _ZeroCopyHandle(sendbuf, datatype)
+                handle = _ZeroCopyHandle(
+                    sendbuf, datatype, dest_world=self._world_ranks[dest]
+                )
                 handles.append(handle)
                 self._post(dest, _Message(self._rank, tag, True, handle))
             else:
@@ -1090,7 +1385,7 @@ class Communicator:
             if datatype is None or datatype.size_elements() == 0:
                 continue
             assert recvbuf is not None
-            message = self._consume(self._match(source, tag, internal=True))
+            message = self._consume(self._match(source, tag, internal=True), source)
             payload = message.payload
             if isinstance(payload, _ZeroCopyHandle):
                 got = payload.size_elements()
@@ -1166,7 +1461,7 @@ class Communicator:
         for source in range(self.size):
             if source == self._rank or not int(recvcounts[source]):
                 continue
-            message = self._consume(self._match(source, tag, internal=True))
+            message = self._consume(self._match(source, tag, internal=True), source)
             start = int(rdispls[source])
             expect = int(recvcounts[source])
             if message.payload.size != expect:
@@ -1193,12 +1488,16 @@ class Communicator:
         world_ranks = tuple(self._world_ranks[r] for _, r in members)
         my_index = next(i for i, (_, r) in enumerate(members) if r == self._rank)
         new_id = ("split", self.comm_id, seq, int(color))
-        return Communicator(self.fabric, new_id, world_ranks, my_index)
+        return Communicator(
+            self.fabric, new_id, world_ranks, my_index, lineage=self._lineage
+        )
 
     def Dup(self) -> "Communicator":
         seq = self._next_seq()
         new_id = ("dup", self.comm_id, seq)
-        return Communicator(self.fabric, new_id, self._world_ranks, self._rank)
+        return Communicator(
+            self.fabric, new_id, self._world_ranks, self._rank, lineage=self._lineage
+        )
 
     # -- internals ---------------------------------------------------------------
 
@@ -1212,6 +1511,10 @@ class Communicator:
 
     def _post(self, dest: int, message: _Message) -> None:
         self.fabric.check_abort()
+        if self.fabric.hazard:
+            self.fabric.check_hazard(
+                self._lineage, self._world_ranks[dest], self._world_ranks[self._rank]
+            )
         if FAULTS.active and not FAULTS.on_send(
             self._world_ranks[self._rank], message
         ):
@@ -1236,7 +1539,7 @@ class Communicator:
             # Sender-side geometry/dtype validation, exactly where pack
             # would have raised on the eager path.
             datatype.view(arr)
-        handle = _ZeroCopyHandle(arr, datatype)
+        handle = _ZeroCopyHandle(arr, datatype, dest_world=self._world_ranks[dest])
         self._post(dest, _Message(self._rank, tag, internal, handle))
         return handle
 
@@ -1256,18 +1559,36 @@ class Communicator:
         for handle in handles:
             while not handle.done.wait(timeout=0.05):
                 self.fabric.check_abort()
+                if self.fabric.hazard:
+                    # A dead receiver will never drain this lane; a revoked
+                    # communicator means nobody should wait on it at all.
+                    self.fabric.check_hazard(
+                        self._lineage,
+                        handle.dest_world,
+                        self._world_ranks[self._rank],
+                    )
                 if time.monotonic() > deadline:
-                    raise TimeoutError_(
+                    raise DeadlineError(
                         f"rank {self._rank} blocked > {self.fabric.deadlock_timeout}s "
                         f"waiting for a zero-copy lane to drain; likely deadlock"
                     )
 
-    def _consume(self, match: Callable[[_Message], bool]) -> _Message:
+    def _consume(
+        self, match: Callable[[_Message], bool], source: int = ANY_SOURCE
+    ) -> _Message:
         deadline_s = None
         if FAULTS.active:
             deadline_s = FAULTS.on_recv(self._world_ranks[self._rank])
+        source_world = None
+        if source != ANY_SOURCE:
+            source_world = self._world_ranks[source]
         message = self.fabric.consume(
-            self.comm_id, self._world_ranks[self._rank], match, deadline_s=deadline_s
+            self.comm_id,
+            self._world_ranks[self._rank],
+            match,
+            deadline_s=deadline_s,
+            source_world=source_world,
+            lineage=self._lineage,
         )
         if FAULTS.active:
             FAULTS.on_deliver(message)
@@ -1278,7 +1599,9 @@ class Communicator:
         self._post(dest, _Message(self._rank, self._coll_tag(seq), True, payload))
 
     def _coll_recv(self, buf: np.ndarray, source: int, seq: int) -> None:
-        message = self._consume(self._match(source, self._coll_tag(seq), internal=True))
+        message = self._consume(
+            self._match(source, self._coll_tag(seq), internal=True), source
+        )
         flat = np.asarray(buf).reshape(-1)
         if message.payload.size != flat.size:
             raise TruncationError(

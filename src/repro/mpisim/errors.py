@@ -23,12 +23,39 @@ class CommunicatorError(MpiSimError, ValueError):
     """Invalid rank, tag, or communicator usage."""
 
 
-class TimeoutError_(MpiSimError):
+class DeadlineError(MpiSimError):
     """A blocking operation waited longer than the fabric's deadlock timeout
     (or a per-operation deadline from a :class:`~repro.faults.ReliabilityPolicy`).
 
-    Named with a trailing underscore to avoid shadowing :class:`TimeoutError`;
-    it still subclasses ``RuntimeError`` so generic handlers catch it.
+    Subclasses ``RuntimeError`` (not the builtin :class:`TimeoutError`) so
+    generic handlers catch it.  Formerly exported as ``TimeoutError_``; that
+    name remains as a deprecated alias.
+    """
+
+
+#: Deprecated alias kept for source compatibility; use :class:`DeadlineError`.
+TimeoutError_ = DeadlineError
+
+
+class RevokedError(MpiSimError):
+    """The communicator was revoked (ULFM ``MPIX_Comm_revoke`` semantics).
+
+    Every pending and future operation on a revoked communicator — and on
+    any communicator derived from it — raises this instead of hanging.
+    Fault-tolerant agreement (:meth:`Communicator.agree`) and
+    :meth:`Communicator.shrink` still complete on a revoked communicator,
+    which is how survivors rendezvous and rebuild.
+    """
+
+
+class ProcessFailedError(MpiSimError):
+    """An operation involves a peer the liveness table knows is gone
+    (ULFM ``MPI_ERR_PROC_FAILED`` semantics).
+
+    Raised promptly — from the executor's liveness table, not a timeout —
+    when a receive targets a dead source, a send targets a dead
+    destination, or a rendezvous lane waits on a dead receiver.  Messages
+    a rank managed to send before dying remain deliverable.
     """
 
 

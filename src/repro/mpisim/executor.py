@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional
 from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
-from .errors import AbortError
+from .errors import AbortError, RankCrashError
 
 WORLD_ID = "world"
 
@@ -60,8 +60,12 @@ def world_communicators(
     ]
 
 
-def _stuck_detail(stuck: list[int]) -> str:
+def _stuck_detail(stuck: list[int], dead: frozenset[int] = frozenset()) -> str:
     """Name each stuck rank and, if tracing is on, its open span stack.
+
+    Ranks the liveness table (or the fault layer) already knows are dead
+    are reported as "crashed", not listed among the stuck ranks with open
+    spans — a crashed rank isn't wedged, it was killed by the fault plan.
 
     When a fault plan is installed the report also carries the
     fault-injection state — the active plan, each rank's op count, and any
@@ -69,8 +73,14 @@ def _stuck_detail(stuck: list[int]) -> str:
     message alone.
     """
     active = TRACER.active_spans()
+    crashed = set(dead)
+    if FAULTS.active:
+        crashed |= FAULTS.crashed_ranks()
     parts = []
     for rank in stuck:
+        if rank in crashed:
+            parts.append(f"rank {rank} crashed (killed by the fault plan; not stuck)")
+            continue
         spans = active.get(rank)
         notes = []
         if spans:
@@ -99,6 +109,7 @@ def run_spmd(
     *args: Any,
     deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
     join_timeout: Optional[float] = None,
+    resilient: bool = False,
     **kwargs: Any,
 ) -> list[Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -106,6 +117,13 @@ def run_spmd(
     Returns the per-rank return values, in rank order.  If any rank raises,
     every other rank is aborted and :class:`RankFailure` propagates the
     first failure (by rank order among failures).
+
+    With ``resilient=True`` a :class:`RankCrashError` does *not* abort the
+    run: the crashed rank is recorded in the fabric's liveness table (so
+    survivors' blocked operations surface typed failures instead of
+    hanging), its slot in the result list holds the crash exception, and
+    the surviving ranks keep running — the contract ULFM-style recovery
+    (``repro.resilience``) builds on.  Any other exception still aborts.
 
     ``join_timeout`` bounds how long the driver waits for worker threads
     *without observing progress* (a worker finishing renews the window); it
@@ -131,6 +149,16 @@ def run_spmd(
         except AbortError:
             # Secondary failure caused by another rank's abort; ignore.
             pass
+        except RankCrashError as exc:
+            if resilient:
+                # Simulated process death: record it in the liveness table
+                # and let the survivors carry on (ULFM semantics).
+                results[rank] = exc
+                fabric.mark_dead(rank)
+            else:
+                with failures_lock:
+                    failures[rank] = exc
+                fabric.abort(exc)
         except BaseException as exc:  # noqa: BLE001 - must propagate anything
             with failures_lock:
                 failures[rank] = exc
@@ -157,7 +185,7 @@ def run_spmd(
                 progressed = True
         if pending and not progressed:
             stuck = [rank for rank, _ in pending]
-            detail = _stuck_detail(stuck)
+            detail = _stuck_detail(stuck, dead=fabric.dead_ranks())
             # Wake any peers blocked on the wedged ranks; the stuck threads
             # themselves are daemons and cannot be killed, only reported.
             fabric.abort(SpmdHangError(stuck, join_timeout, detail))

@@ -172,6 +172,12 @@ class MetricsRegistry:
             if n:
                 self.incr(f"{prefix}{name}", n)
 
+    def absorb_resilience(self, stats, prefix: str = "resilience.") -> None:
+        """Fold a resilience stats snapshot (recoveries, deposits, replays,
+        adoptions, ...) into plain counters; same contract as
+        :meth:`absorb_faults`."""
+        self.absorb_faults(stats, prefix=prefix)
+
     # -- reporting -----------------------------------------------------------
 
     def summary(self, per_rank: bool = False) -> str:

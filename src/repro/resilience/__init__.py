@@ -1,0 +1,27 @@
+"""Crash survival for redistributions: ULFM-style recovery + buddy checkpoints.
+
+Layers (see DESIGN.md "Resilience"):
+
+* ``repro.mpisim`` supplies the primitives — communicator revocation,
+  fault-aware agreement, and ``Comm.shrink()``;
+* this package supplies the data plane — :class:`CheckpointPolicy` /
+  :class:`BuddyStore` replication and :class:`ResilientRedistributor`,
+  which revokes, agrees, shrinks, adopts lost chunks from checkpoints and
+  replays rolled-back epochs when a peer dies mid-exchange;
+* ``repro.intransit`` builds pipeline reconfiguration on top
+  (``PipelineConfig.on_rank_loss``).
+"""
+
+from .checkpoint import BuddyStore, CheckpointPolicy, shared_store
+from .errors import DataLossError, ReconfigurationError
+from .redistributor import RESILIENCE_STATS, ResilientRedistributor
+
+__all__ = [
+    "BuddyStore",
+    "CheckpointPolicy",
+    "DataLossError",
+    "RESILIENCE_STATS",
+    "ReconfigurationError",
+    "ResilientRedistributor",
+    "shared_store",
+]

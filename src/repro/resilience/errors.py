@@ -1,0 +1,36 @@
+"""Typed terminal errors for the resilience layer.
+
+Both derive from :class:`~repro.mpisim.errors.MpiSimError` so the chaos
+harness and any ``except MpiSimError`` site classify them as *typed*
+outcomes rather than harness failures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..mpisim.errors import MpiSimError
+
+
+class DataLossError(MpiSimError):
+    """A crashed rank's data is unrecoverable and somebody still needs it.
+
+    Raised when every replica holder of a lost chunk is itself dead (or the
+    chunk was never checkpointed, e.g. the rank died during the initial
+    mapping setup) and the chunk intersects a surviving rank's need region.
+    ``lost_boxes`` names the unrecoverable boxes so callers can report
+    exactly which domain regions are gone.
+    """
+
+    def __init__(self, message: str, lost_boxes: Sequence = ()) -> None:
+        super().__init__(message)
+        self.lost_boxes: Tuple = tuple(lost_boxes)
+
+
+class ReconfigurationError(MpiSimError):
+    """The surviving topology cannot host the requested configuration.
+
+    Raised by shrink-mode pipeline recovery when, e.g., fewer producer
+    ranks survive than the decomposition requires (``m' < n``) or the
+    consumer side is wiped out entirely.
+    """

@@ -10,6 +10,7 @@ from repro.faults.chaos import (
     DEGRADED,
     FAILED,
     OK,
+    RECOVERED,
     TYPED_ERROR,
     ChaosReport,
     ChaosRun,
@@ -39,6 +40,42 @@ class TestRunChaos:
             run_chaos(nprocs=1)
 
 
+class TestCrashMode:
+    def test_single_crash_sweep_never_hangs_and_recovers(self):
+        report = run_chaos(seed=0, runs=8, ops=120, crashes=True)
+        assert len(report.runs) == 8
+        assert report.passed, report.summary()
+        for run in report.runs:
+            assert run.outcome in (OK, RECOVERED, DEGRADED, TYPED_ERROR)
+        # the tightened crash window makes most runs actually lose a rank
+        assert any(run.outcome == RECOVERED for run in report.runs)
+
+    def test_crash_sweep_is_reproducible(self):
+        a = run_chaos(seed=5, runs=4, ops=80, crashes=True)
+        b = run_chaos(seed=5, runs=4, ops=80, crashes=True)
+        assert [r.outcome for r in a.runs] == [r.outcome for r in b.runs]
+
+    def test_runs_record_fault_stats(self):
+        report = run_chaos(seed=0, runs=3, ops=80, crashes=True)
+        assert all(isinstance(run.stats, dict) for run in report.runs)
+
+
+class TestToDict:
+    def test_report_round_trips_to_json(self, tmp_path):
+        import json
+
+        report = run_chaos(seed=0, runs=3, ops=40, nprocs=2)
+        data = report.to_dict()
+        assert data["passed"] is True
+        assert sum(data["counts"].values()) == 3
+        assert len(data["runs"]) == 3
+        assert {"index", "seed", "outcome", "stats"} <= set(data["runs"][0])
+        # must be JSON-serializable as-is
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(data))
+        assert json.loads(path.read_text())["counts"] == data["counts"]
+
+
 class TestReport:
     def test_empty_report_does_not_pass(self):
         assert not ChaosReport().passed
@@ -58,3 +95,15 @@ class TestCli:
                      "--quiet"])
         assert code == 0
         assert "chaos: 3 runs" in capsys.readouterr().out
+
+    def test_chaos_crashes_flag_with_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(["chaos", "--runs", "4", "--ops", "80", "--crashes",
+                     "--quiet", "--json", str(path)])
+        assert code == 0
+        assert str(path) in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert data["passed"] is True
+        assert sum(data["counts"].values()) == 4

@@ -104,6 +104,13 @@ class TestRegistry:
         # zero-count kinds are not emitted
         assert "transfer.copies.unpack" not in registry.counters
 
+    def test_absorb_resilience(self):
+        registry = MetricsRegistry()
+        registry.absorb_resilience({"recoveries": 2, "deposits": 7, "replays": 0})
+        assert registry.counters["resilience.recoveries"] == 2
+        assert registry.counters["resilience.deposits"] == 7
+        assert "resilience.replays" not in registry.counters
+
     def test_summary_lists_spans_and_counters(self):
         registry = MetricsRegistry()
         registry.ingest([record("mpi.Send", rank=0, nbytes=10)])

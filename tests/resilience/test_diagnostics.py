@@ -1,0 +1,19 @@
+"""Hang diagnostics must distinguish crashed ranks from genuinely stuck ones."""
+
+from __future__ import annotations
+
+from repro.mpisim.executor import _stuck_detail
+
+
+def test_dead_ranks_reported_crashed_not_stuck():
+    detail = _stuck_detail([0, 1], dead=frozenset({1}))
+    assert "rank 1 crashed" in detail
+    assert "killed by the fault plan" in detail
+    assert "rank 0 crashed" not in detail
+    # the live rank still gets the usual stuck diagnostics
+    assert "rank 0" in detail
+
+
+def test_no_dead_ranks_means_no_crash_labels():
+    detail = _stuck_detail([2], dead=frozenset())
+    assert "crashed" not in detail
