@@ -146,7 +146,11 @@ def _trace_intransit(args: argparse.Namespace) -> None:
         output_every=args.output_every,
         backend=args.backend,
     )
-    run_spmd(config.m + config.n, lambda comm: run_pipeline(comm, config))
+    run_spmd(
+        config.m + config.n,
+        lambda comm: run_pipeline(comm, config),
+        executor=args.executor,
+    )
 
 
 def _trace_redistribute(args: argparse.Namespace) -> None:
@@ -174,7 +178,7 @@ def _trace_redistribute(args: argparse.Namespace) -> None:
             red.exchange([data], out)
         return True
 
-    run_spmd(nprocs, fn)
+    run_spmd(nprocs, fn, executor=args.executor)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -286,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream cadence in steps (intransit)")
     pt.add_argument("--per-rank", action="store_true",
                     help="print the per-rank histogram breakdown")
+    pt.add_argument("--executor", choices=("thread", "process"), default=None,
+                    help="rank executor (default: DDR_EXECUTOR env, else thread); "
+                    "process forks one OS process per rank and merges the "
+                    "per-process spans into one trace")
     pt.set_defaults(fn=_cmd_trace)
 
     pc = sub.add_parser(

@@ -21,7 +21,12 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..faults.policy import ReliabilityPolicy
-from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.comm import (
+    TRANSPORT_PACKED,
+    TRANSPORT_SHM,
+    TRANSPORT_ZEROCOPY,
+    Communicator,
+)
 from ..mpisim.datatypes import NamedType
 from .box import Box, boxes_from_flat
 from .descriptor import DataDescriptor, DataLayout
@@ -155,9 +160,10 @@ class Redistributor:
         self.backend = backend
 
     def set_transport(self, transport: Optional[str]) -> None:
-        if transport not in (None, TRANSPORT_ZEROCOPY, TRANSPORT_PACKED):
+        if transport not in (None, TRANSPORT_ZEROCOPY, TRANSPORT_PACKED, TRANSPORT_SHM):
             raise ValueError(
-                f"unknown transport {transport!r} (use 'zerocopy', 'packed', or None)"
+                f"unknown transport {transport!r} "
+                f"(use 'zerocopy', 'packed', 'shm', or None)"
             )
         self.transport = transport
 

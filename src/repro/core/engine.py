@@ -40,7 +40,7 @@ import numpy as np
 
 from ..faults.injector import FAULTS
 from ..faults.policy import ReliabilityPolicy
-from ..mpisim.comm import TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.comm import TRANSPORT_PACKED, Communicator
 from ..mpisim.errors import RetriesExhaustedError, TransientFaultError
 from ..mpisim.request import Request, wait_all
 from ..obs.tracer import TRACER
@@ -140,7 +140,12 @@ class ExchangeEngine:
             mapping.components,
             mapping.buffer_cache,
         )
-        zero_copy = comm.resolve_transport(transport) == TRANSPORT_ZEROCOPY
+        # "Direct" here means: the self-lane may copy straight between the
+        # user's buffers, and P2P sends request rendezvous.  True for both
+        # zerocopy and shm (the self lane never leaves the process either
+        # way); a rendezvous request under shm simply degrades to an shm-
+        # staged eager send inside ``Isend``.
+        zero_copy = comm.resolve_transport(transport) != TRANSPORT_PACKED
         policy = reliability if reliability is not None else FAULTS.policy
         if progress is None:
             progress = ExchangeProgress()

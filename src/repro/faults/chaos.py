@@ -33,7 +33,7 @@ from ..core.box import Box
 from ..intransit.pipeline import PipelineConfig, PipelineResult, run_pipeline
 from ..lbm.decompose import slab_box
 from ..lbm.simulation import LbmConfig
-from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_ZEROCOPY, Communicator
+from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_SHM, TRANSPORT_ZEROCOPY, Communicator
 from ..mpisim.errors import MpiSimError, RankCrashError
 from ..mpisim.executor import RankFailure, SpmdHangError, run_spmd
 from ..resilience import ResilientRedistributor
@@ -46,6 +46,17 @@ __all__ = ["ChaosReport", "ChaosRun", "run_chaos"]
 
 BACKENDS = ("alltoallw", "p2p", "auto")
 TRANSPORTS = (TRANSPORT_PACKED, TRANSPORT_ZEROCOPY)
+
+#: executor × transport combinations the plain-exchange sweep cycles
+#: through.  The process executor runs the shm transport (its only bulk
+#: transport); the crash and pipeline sweeps stay on the thread executor —
+#: their recovery machinery (buddy checkpoints on ``fabric.shared``) needs
+#: one address space.
+COMBOS = (
+    ("thread", TRANSPORT_PACKED),
+    ("thread", TRANSPORT_ZEROCOPY),
+    ("process", TRANSPORT_SHM),
+)
 
 #: Outcome labels.
 OK = "ok"  # bitwise-correct output, all faults absorbed
@@ -89,6 +100,7 @@ class ChaosRun:
     backend: str
     transport: str
     outcome: str  # OK | RECOVERED | DEGRADED | TYPED_ERROR | FAILED
+    executor: str = "thread"  # "thread" | "process"
     error: str = ""  # exception type (and message head) when not OK
     injected: int = 0  # faults the plan actually fired
     duration_s: float = 0.0
@@ -331,7 +343,12 @@ def run_chaos(
     for index in range(runs):
         plan_seed = seed + index
         backend = BACKENDS[index % len(BACKENDS)]
-        transport = TRANSPORTS[(index // len(BACKENDS)) % len(TRANSPORTS)]
+        executor, transport = COMBOS[(index // len(BACKENDS)) % len(COMBOS)]
+        if crashes or index % PIPELINE_EVERY == PIPELINE_EVERY - 1:
+            # Crash recovery and the pipeline need the shared-memory
+            # blackboard (buddy checkpoints); keep those on threads.
+            if executor == "process":
+                executor, transport = "thread", TRANSPORT_PACKED
         is_pipeline = index % PIPELINE_EVERY == PIPELINE_EVERY - 1
         if is_pipeline:
             config = (
@@ -391,6 +408,7 @@ def run_chaos(
                             transport,
                             3,
                             deadlock_timeout=DEADLOCK_TIMEOUT_S,
+                            executor=executor,
                         )
                 finally:
                     injected = FAULTS.stats.total_injected()
@@ -406,6 +424,7 @@ def run_chaos(
             backend=backend,
             transport=transport,
             outcome=outcome,
+            executor=executor,
             error=error,
             injected=injected,
             duration_s=time.perf_counter() - started,
@@ -416,7 +435,7 @@ def run_chaos(
             mark = "PASS" if run.passed else "FAIL"
             log(
                 f"[{mark}] run {index:3d} seed {plan_seed} "
-                f"{run.workload:<12} {backend:<9} {transport:<8} "
+                f"{run.workload:<12} {backend:<9} {executor:<7} {transport:<8} "
                 f"{outcome:<11} inj={injected:<3d} {run.duration_s:.2f}s"
                 + (f"  {error}" if error else "")
             )

@@ -61,6 +61,8 @@ from .errors import (
     TruncationError,
 )
 from .request import CompletedRequest, DeferredRequest, Request, Status
+from .shm import ShmStagingPool, ShmTicket
+from .shm import attach as _shm_attach
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -74,12 +76,23 @@ DEFAULT_DEADLOCK_TIMEOUT = 120.0
 # Transport selection
 # ---------------------------------------------------------------------------
 
-#: Rendezvous shared-memory transport: one direct copy per lane.
+#: Rendezvous shared-memory transport: one direct copy per lane.  Requires
+#: every rank to share one address space (the thread executor).
 TRANSPORT_ZEROCOPY = "zerocopy"
 #: Eager staged transport: pack -> mailbox payload -> unpack.
 TRANSPORT_PACKED = "packed"
+#: Staged transport through POSIX shared-memory segments: pack into a
+#: shared segment, post a tiny ticket, unpack out of the mapping.  The
+#: cross-process analogue of ``packed`` without pickling payload bytes;
+#: ``zerocopy`` degrades to this on fabrics that cannot share live buffer
+#: references (the process executor).
+TRANSPORT_SHM = "shm"
 
-_VALID_TRANSPORTS = (TRANSPORT_ZEROCOPY, TRANSPORT_PACKED)
+_VALID_TRANSPORTS = (TRANSPORT_ZEROCOPY, TRANSPORT_PACKED, TRANSPORT_SHM)
+
+#: Messages below this many payload bytes skip shm staging: a pickled
+#: ndarray through the queue beats a segment round-trip at tiny sizes.
+SHM_MIN_BYTES = 512
 
 
 def _validated_transport(mode: str) -> str:
@@ -202,6 +215,12 @@ class _Message:
 class Fabric:
     """Shared state connecting every rank of one SPMD execution."""
 
+    #: Whether rank-to-rank traffic may carry live buffer references (the
+    #: zero-copy rendezvous transport).  True here — every rank is a thread
+    #: of this process.  The process executor's fabric sets this False and
+    #: ``resolve_transport`` degrades ``zerocopy`` to ``shm``.
+    supports_zerocopy = True
+
     def __init__(self, nprocs: int, deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT) -> None:
         if nprocs < 1:
             raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
@@ -228,6 +247,29 @@ class Fabric:
         self.shared: dict[str, Any] = {}
         self.shared_lock = threading.Lock()
         self._agreements: dict[Hashable, dict[str, Any]] = {}
+        self._shm_pool: Optional[ShmStagingPool] = None
+        self._shm_lock = threading.Lock()
+        #: Segment-name prefix for this fabric's staging pool; the process
+        #: executor overrides it with a per-run prefix so the parent can
+        #: sweep ``/dev/shm`` for hard-killed ranks' leftovers.
+        self.shm_prefix: Optional[str] = None
+
+    # -- shm staging ---------------------------------------------------------
+
+    def shm_pool(self) -> ShmStagingPool:
+        """Lazily-created staging pool for the ``shm`` transport."""
+        with self._shm_lock:
+            if self._shm_pool is None:
+                prefix = self.shm_prefix or f"ddr{os.getpid()}_f{id(self):x}"
+                self._shm_pool = ShmStagingPool(prefix)
+            return self._shm_pool
+
+    def close_shm(self) -> None:
+        """Unlink any shm segments this fabric's pool created."""
+        with self._shm_lock:
+            pool, self._shm_pool = self._shm_pool, None
+        if pool is not None:
+            pool.close()
 
     # -- abort ------------------------------------------------------------
 
@@ -558,10 +600,28 @@ def _rendezvous_copy(
     return count * handle.itemsize()
 
 
+def _receive_shm(buf: np.ndarray, datatype: Optional[Datatype], ticket: ShmTicket) -> int:
+    """Drain an shm-staged message: unpack out of the mapped segment.
+
+    The drained flag is set in all cases — success and receiver-local
+    error alike — so the sender's pool can recycle the segment (the same
+    always-release contract the rendezvous path keeps for its sender).
+    """
+    segment = _shm_attach(ticket.name)
+    try:
+        return _payload_into(
+            buf, datatype, segment.view(np.dtype(ticket.dtype), ticket.count)
+        )
+    finally:
+        segment.mark_drained()
+
+
 def _receive_payload(buf: np.ndarray, datatype: Optional[Datatype], message: "_Message") -> int:
-    """Unified typed receive: handles both staged payloads and rendezvous."""
+    """Unified typed receive: staged payloads, shm tickets, and rendezvous."""
     if isinstance(message.payload, _ZeroCopyHandle):
         return _receive_rendezvous(buf, datatype, message.payload)
+    if isinstance(message.payload, ShmTicket):
+        return _receive_shm(buf, datatype, message.payload)
     return _payload_into(buf, datatype, message.payload)
 
 
@@ -603,12 +663,22 @@ class Communicator:
         self.transport: Optional[str] = None
 
     def resolve_transport(self, override: Optional[str] = None) -> str:
-        """Effective transport: ``override`` > ``self.transport`` > process default."""
+        """Effective transport: ``override`` > ``self.transport`` > process default.
+
+        On a fabric that cannot share live buffer references (the process
+        executor), ``zerocopy`` degrades to ``shm`` — the schedule IR and
+        every call site stay transport-agnostic; only the lane mechanics
+        change underneath them.
+        """
         if override is not None:
-            return _validated_transport(override)
-        if self.transport is not None:
-            return _validated_transport(self.transport)
-        return _default_transport
+            mode = _validated_transport(override)
+        elif self.transport is not None:
+            mode = _validated_transport(self.transport)
+        else:
+            mode = _default_transport
+        if mode == TRANSPORT_ZEROCOPY and not self.fabric.supports_zerocopy:
+            return TRANSPORT_SHM
+        return mode
 
     # -- introspection ------------------------------------------------------
 
@@ -788,8 +858,38 @@ class Communicator:
         self._check_rank(dest, "dest")
         if tag < 0:
             raise CommunicatorError(f"user tags must be >= 0, got {tag}")
+        if self.resolve_transport() == TRANSPORT_SHM:
+            ticket = self._stage_shm(buf, datatype)
+            if ticket is not None:
+                self._post(dest, _Message(self._rank, tag, False, ticket))
+                return
         payload = _payload_from(buf, datatype)
         self._post(dest, _Message(self._rank, tag, False, payload))
+
+    def _stage_shm(
+        self, buf: np.ndarray, datatype: Optional[Datatype]
+    ) -> Optional[ShmTicket]:
+        """Pack ``buf`` into a pooled shm segment; ``None`` below threshold
+        (tiny messages travel faster as pickled payloads)."""
+        arr = np.asarray(buf)
+        if datatype is not None:
+            count = datatype.size_elements()
+        else:
+            count = int(arr.size)
+        nbytes = count * arr.dtype.itemsize
+        if nbytes < SHM_MIN_BYTES:
+            return None
+        segment = self.fabric.shm_pool().acquire(nbytes)
+        view = segment.view(arr.dtype, count)
+        if datatype is not None:
+            datatype.pack(np.ascontiguousarray(arr), out=view)
+        else:
+            if not arr.flags["C_CONTIGUOUS"]:
+                arr = np.ascontiguousarray(arr)
+            view[:] = arr.reshape(-1)
+        if TRANSFER_COUNTERS.enabled:
+            TRANSFER_COUNTERS.count_copy("payload", nbytes)
+        return ShmTicket(segment.name, arr.dtype.str, count, segment=segment)
 
     def Isend(
         self,
@@ -994,6 +1094,14 @@ class Communicator:
                 raise
             payload.complete()
             return data
+        if isinstance(payload, ShmTicket):
+            # An shm-staged (uppercase) send drained by the object API:
+            # copy out of the mapping and release the segment.
+            segment = _shm_attach(payload.name)
+            try:
+                return segment.view(np.dtype(payload.dtype), payload.count).copy()
+            finally:
+                segment.mark_drained()
         return payload
 
     # -- collectives ------------------------------------------------------------
@@ -1338,20 +1446,23 @@ class Communicator:
     ) -> None:
         if len(sendtypes) != self.size or len(recvtypes) != self.size:
             raise CommunicatorError("Alltoallw requires one datatype slot per rank")
-        zero_copy = self.resolve_transport(transport) == TRANSPORT_ZEROCOPY
+        mode = self.resolve_transport(transport)
+        zero_copy = mode == TRANSPORT_ZEROCOPY
+        shm_mode = mode == TRANSPORT_SHM
         seq = self._next_seq()
         tag = self._coll_tag(seq)
 
         # Self-exchange first: no mailbox round-trip.  The direct path is
         # taken only when the two buffers cannot alias; pack/unpack remains
-        # the safe fallback for overlapping self-transfers.
+        # the safe fallback for overlapping self-transfers.  The self lane
+        # never leaves this process, so shm mode copies directly too.
         stype = sendtypes[self._rank]
         rtype = recvtypes[self._rank]
         if stype is not None and stype.size_elements() > 0:
             if rtype is None or rtype.size_elements() != stype.size_elements():
                 raise CommunicatorError("self send/recv types disagree in Alltoallw")
             assert sendbuf is not None and recvbuf is not None
-            if zero_copy and not np.may_share_memory(sendbuf, recvbuf):
+            if (zero_copy or shm_mode) and not np.may_share_memory(sendbuf, recvbuf):
                 stype.copy_into(sendbuf, recvbuf, rtype)
             else:
                 rtype.unpack(recvbuf, stype.pack(sendbuf))
@@ -1375,8 +1486,13 @@ class Communicator:
                 )
                 handles.append(handle)
                 self._post(dest, _Message(self._rank, tag, True, handle))
-            else:
-                self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
+                continue
+            if shm_mode:
+                ticket = self._stage_shm(sendbuf, datatype)
+                if ticket is not None:
+                    self._post(dest, _Message(self._rank, tag, True, ticket))
+                    continue
+            self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
 
         for source in range(self.size):
             if source == self._rank:
@@ -1389,17 +1505,22 @@ class Communicator:
             payload = message.payload
             if isinstance(payload, _ZeroCopyHandle):
                 got = payload.size_elements()
+            elif isinstance(payload, ShmTicket):
+                got = payload.count
             else:
                 got = int(payload.size)
             if got != datatype.size_elements():
-                if isinstance(payload, _ZeroCopyHandle):
-                    payload.complete()  # release the sender; the error is ours
+                complete = getattr(payload, "complete", None)
+                if callable(complete):
+                    complete()  # release the sender; the error is ours
                 raise TruncationError(
                     f"Alltoallw lane {source}->{self._rank}: got {got} "
                     f"elements, type expects {datatype.size_elements()}"
                 )
             if isinstance(payload, _ZeroCopyHandle):
                 _receive_rendezvous(recvbuf, datatype, payload)
+            elif isinstance(payload, ShmTicket):
+                _receive_shm(recvbuf, datatype, payload)
             else:
                 datatype.unpack(recvbuf, payload)
 

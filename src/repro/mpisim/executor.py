@@ -15,6 +15,7 @@ the span stack each one was inside (see :mod:`repro.obs.tracer`).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -23,9 +24,19 @@ from typing import Any, Callable, Optional
 from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric
-from .errors import AbortError, RankCrashError
+from .errors import AbortError, CommunicatorError, RankCrashError
 
 WORLD_ID = "world"
+
+#: Executor kinds ``run_spmd`` accepts (argument or ``DDR_EXECUTOR`` env).
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+_VALID_EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
+
+def default_executor() -> str:
+    """The process-wide default executor (``DDR_EXECUTOR``, else thread)."""
+    return os.environ.get("DDR_EXECUTOR", "").strip().lower() or EXECUTOR_THREAD
 
 
 @dataclass
@@ -40,13 +51,28 @@ class RankFailure(Exception):
 
 
 class SpmdHangError(RuntimeError):
-    """Worker threads outlived the join timeout; lists who is stuck where."""
+    """Workers outlived the join timeout; lists who is stuck where.
 
-    def __init__(self, stuck: list[int], timeout: float, detail: str) -> None:
+    ``executor`` names the executor kind the run used ("thread" or
+    "process") and — for process ranks — ``pids`` maps each world rank to
+    its child PID, so a stuck process can be inspected (``py-spy``, ``gdb``)
+    or killed from the report alone.
+    """
+
+    def __init__(
+        self,
+        stuck: list[int],
+        timeout: float,
+        detail: str,
+        executor: str = EXECUTOR_THREAD,
+        pids: Optional[dict[int, Optional[int]]] = None,
+    ) -> None:
         self.stuck_ranks = stuck
+        self.executor = executor
+        self.pids = dict(pids) if pids else {}
         super().__init__(
             f"{len(stuck)} rank(s) still running after {timeout:.1f}s join "
-            f"timeout: {detail}"
+            f"timeout on the {executor} executor: {detail}"
         )
 
 
@@ -110,6 +136,7 @@ def run_spmd(
     deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
     join_timeout: Optional[float] = None,
     resilient: bool = False,
+    executor: Optional[str] = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -117,6 +144,12 @@ def run_spmd(
     Returns the per-rank return values, in rank order.  If any rank raises,
     every other rank is aborted and :class:`RankFailure` propagates the
     first failure (by rank order among failures).
+
+    ``executor`` selects how ranks run: ``"thread"`` (the default) shares
+    one address space and supports the zero-copy transport; ``"process"``
+    (see :mod:`repro.mpisim.procexec`) forks one OS process per rank —
+    true multi-core parallelism, payloads via shared memory.  ``None``
+    follows the ``DDR_EXECUTOR`` environment variable.
 
     With ``resilient=True`` a :class:`RankCrashError` does *not* abort the
     run: the crashed rank is recorded in the fabric's liveness table (so
@@ -134,6 +167,26 @@ def run_spmd(
     timeout instead, and :class:`SpmdHangError` reports the stuck ranks
     with their current trace spans.
     """
+    if nprocs < 1:
+        raise CommunicatorError(f"need at least one rank, got {nprocs}")
+    kind = (executor or default_executor()).strip().lower()
+    if kind not in _VALID_EXECUTORS:
+        raise CommunicatorError(
+            f"unknown executor {kind!r} (use one of {_VALID_EXECUTORS})"
+        )
+    if kind == EXECUTOR_PROCESS:
+        from .procexec import run_spmd_processes
+
+        return run_spmd_processes(
+            nprocs,
+            fn,
+            *args,
+            deadlock_timeout=deadlock_timeout,
+            join_timeout=join_timeout,
+            resilient=resilient,
+            **kwargs,
+        )
+
     if join_timeout is None:
         join_timeout = deadlock_timeout * 1.5 + 5.0
     comms = world_communicators(nprocs, deadlock_timeout)
@@ -171,25 +224,33 @@ def run_spmd(
     for thread in threads:
         thread.start()
 
-    # Join with a progress-renewed timeout: as long as at least one rank
-    # finishes per window the wait continues, so long multi-phase runs are
-    # unaffected; only a window with zero completions declares a hang.
-    pending = list(enumerate(threads))
-    while pending:
-        progressed = False
-        deadline = time.monotonic() + join_timeout
-        for rank, thread in list(pending):
-            thread.join(timeout=max(0.0, deadline - time.monotonic()))
-            if not thread.is_alive():
-                pending.remove((rank, thread))
-                progressed = True
-        if pending and not progressed:
-            stuck = [rank for rank, _ in pending]
-            detail = _stuck_detail(stuck, dead=fabric.dead_ranks())
-            # Wake any peers blocked on the wedged ranks; the stuck threads
-            # themselves are daemons and cannot be killed, only reported.
-            fabric.abort(SpmdHangError(stuck, join_timeout, detail))
-            raise SpmdHangError(stuck, join_timeout, detail)
+    try:
+        # Join with a progress-renewed timeout: as long as at least one rank
+        # finishes per window the wait continues, so long multi-phase runs are
+        # unaffected; only a window with zero completions declares a hang.
+        pending = list(enumerate(threads))
+        while pending:
+            progressed = False
+            deadline = time.monotonic() + join_timeout
+            for rank, thread in list(pending):
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+                if not thread.is_alive():
+                    pending.remove((rank, thread))
+                    progressed = True
+            if pending and not progressed:
+                stuck = [rank for rank, _ in pending]
+                detail = _stuck_detail(stuck, dead=fabric.dead_ranks())
+                # Wake any peers blocked on the wedged ranks; the stuck threads
+                # themselves are daemons and cannot be killed, only reported.
+                error = SpmdHangError(
+                    stuck, join_timeout, detail, executor=EXECUTOR_THREAD
+                )
+                fabric.abort(error)
+                raise error
+    finally:
+        # Unlink any shm segments the run staged (the shm transport under
+        # the thread executor); live views in stuck daemons stay mapped.
+        fabric.close_shm()
 
     if failures:
         first_rank = min(failures)

@@ -148,6 +148,38 @@ class Tracer:
         # threads only snapshot names, which is safe under the GIL).
         self._stacks: dict[int, list[_Span]] = {}
 
+    @property
+    def epoch(self) -> float:
+        """The ``perf_counter`` value all ``start_us`` stamps are relative to.
+
+        ``CLOCK_MONOTONIC`` is system-wide on Linux, so a forked child that
+        adopts its parent's epoch (:meth:`reset_for_child`) produces spans
+        on the same timeline — the parent can merge them verbatim.
+        """
+        return self._epoch
+
+    # -- cross-process support (the process executor) ------------------------
+
+    def reset_for_child(self, epoch: float, enabled: bool) -> None:
+        """Re-initialise this tracer inside a forked rank process.
+
+        Drops the records and open-span stacks inherited from the parent
+        (they belong to the parent's threads, which do not exist here) and
+        adopts the parent's epoch so this child's spans merge onto the
+        parent's timeline.
+        """
+        with self._lock:
+            self._records.clear()
+            self._stacks.clear()
+        self._local = threading.local()
+        self._epoch = epoch
+        self.enabled = enabled
+
+    def ingest(self, records: list[SpanRecord]) -> None:
+        """Merge spans recorded elsewhere (child rank processes)."""
+        with self._lock:
+            self._records.extend(records)
+
     # -- recording -----------------------------------------------------------
 
     def span(self, name: str, rank: Optional[int] = None, **attrs: Any):

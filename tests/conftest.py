@@ -5,8 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.mpisim import run_spmd
+from repro.mpisim import default_executor, run_spmd
 from repro.utils import transfer_counters
+
+#: Marker for tests that only make sense when SPMD ranks share one address
+#: space: live zero-copy rendezvous, process-wide counter/blackboard
+#: singletons, driver-side ``threading.Event`` control of ranks.  Skipped
+#: when ``DDR_EXECUTOR=process`` makes the whole run use forked ranks;
+#: tests/mpisim/test_process_executor.py covers the process-side twins.
+thread_only = pytest.mark.skipif(
+    default_executor() == "process",
+    reason="thread-executor semantics (shared address space)",
+)
 
 
 def spmd(nprocs, fn, *args, **kwargs):

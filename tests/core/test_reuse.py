@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import Box, BufferCache, GhostExchanger, Redistributor
 from repro.utils import StagingPool
-from tests.conftest import counted_region, spmd
+from tests.conftest import counted_region, spmd, thread_only
 
 
 class TestBufferCache:
@@ -68,6 +68,7 @@ def _setup_redistributor(comm, **kwargs):
 
 @pytest.mark.parametrize("backend", ["alltoallw", "p2p"])
 class TestSteadyStateAllocations:
+    @thread_only
     def test_repeated_exchange_allocates_nothing(self, backend):
         """The headline guarantee: a warmed-up redistribution loop performs
         no staging allocations and only direct copies (zero-copy default)."""
@@ -90,6 +91,7 @@ class TestSteadyStateAllocations:
         assert snap["copies"]["payload"] == 0
         assert snap["copies"]["direct"] > 0
 
+    @thread_only
     def test_gather_need_reuse_out(self, backend):
         def fn(comm):
             red, own = _setup_redistributor(comm, backend=backend)
@@ -125,6 +127,7 @@ class TestSteadyStateAllocations:
 
 
 class TestGhostExchangerReuse:
+    @thread_only
     def test_reuse_buffer_returns_same_array(self):
         domain = Box((0,), (16,))
 

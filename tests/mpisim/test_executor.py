@@ -19,7 +19,7 @@ from repro.mpisim import (
     world_communicators,
 )
 from repro.obs import TRACER, tracing
-from tests.conftest import spmd
+from tests.conftest import spmd, thread_only
 
 
 class TestRunSpmd:
@@ -94,6 +94,7 @@ class TestJoinTimeout:
     wedged *outside* the fabric (user compute that never returns) hung the
     driver forever — the fabric watchdog only covers blocking comm calls."""
 
+    @thread_only
     def test_hang_outside_fabric_raises(self):
         release = threading.Event()
 
@@ -112,6 +113,7 @@ class TestJoinTimeout:
         assert "rank 1" in str(err)
         assert "enable tracing for span context" in str(err)
 
+    @thread_only
     def test_hang_reports_open_trace_spans(self):
         release = threading.Event()
 
@@ -184,6 +186,7 @@ class TestAbortPropagation:
     and run_spmd must surface the originating exception, not a peer's
     secondary abort."""
 
+    @thread_only
     def test_abort_reaches_recv_and_collective_parked_ranks(self):
         from repro.mpisim import FLOAT
 

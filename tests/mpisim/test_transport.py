@@ -17,7 +17,7 @@ from repro.mpisim import (
     set_transport,
     transport,
 )
-from tests.conftest import counted_region, spmd
+from tests.conftest import counted_region, spmd, thread_only
 
 TRANSPORTS = [TRANSPORT_ZEROCOPY, TRANSPORT_PACKED]
 
@@ -39,6 +39,7 @@ class TestSelection:
             with transport("bogus"):
                 pass
 
+    @thread_only
     def test_per_communicator_override(self):
         def fn(comm):
             assert comm.resolve_transport() == get_transport()
@@ -95,6 +96,7 @@ class TestEquivalence:
         for got, expect in zip(results, reference):
             assert np.array_equal(got, expect)
 
+    @thread_only
     def test_counter_profiles(self):
         """Zero-copy: one direct copy per lane, no staging allocations."""
 
@@ -142,6 +144,7 @@ class TestRendezvousP2P:
 
         assert all(spmd(2, fn))
 
+    @thread_only
     def test_isend_rendezvous_blocks_until_drained(self):
         def fn(comm):
             if comm.rank == 0:
