@@ -1,0 +1,131 @@
+"""Compute-workload benchmarks under both rank executors.
+
+The executor microbenchmark (``bench_micro.py`` -> ``BENCH_procs.json``)
+times the pack+exchange hot path; this module times the *applications* —
+the distributed LBM simulation and the distributed volume renderer — end
+to end under ``executor="thread"`` and ``executor="process"``, including
+executor startup and result collection.  Both workloads verify that the
+two executors compute identical results before any number is recorded.
+
+Numbers land in ``benchmarks/BENCH_compute.json`` keyed per workload with
+a common ``thread_rate`` / ``process_rate`` field (units in the entry),
+so CI can gate the thread-path rate with ``check_regression.py
+--field thread_rate`` exactly like the BENCH_procs gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.lbm import LbmConfig
+from repro.lbm.distributed import DistributedLbm
+from repro.mpisim.executor import run_spmd
+
+BENCH_COMPUTE_RECORD = Path(__file__).resolve().parent / "BENCH_compute.json"
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _merge_record(name: str, entry: dict) -> None:
+    record = {}
+    if BENCH_COMPUTE_RECORD.exists():
+        record = json.loads(BENCH_COMPUTE_RECORD.read_text())
+    entry["cpu_count"] = os.cpu_count() or 1
+    entry["timestamp"] = time.time()
+    record[name] = entry
+    BENCH_COMPUTE_RECORD.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+
+# -- LBM ----------------------------------------------------------------------
+
+
+def _lbm_worker(comm, nx: int, ny: int, steps: int) -> float:
+    sim = DistributedLbm(comm, LbmConfig(nx=nx, ny=ny))
+    sim.step(steps)
+    return float(np.asarray(sim.interior, dtype=np.float64).sum())
+
+
+def _lbm_run(executor: str, nprocs: int, nx: int, ny: int, steps: int):
+    return run_spmd(nprocs, _lbm_worker, nx, ny, steps, executor=executor)
+
+
+def test_lbm_executor_rates():
+    """Distributed LBM step rate, thread vs process executor (4 ranks)."""
+    nprocs, nx, ny, steps = 4, 256, 128, 30
+    thread_out = _lbm_run("thread", nprocs, nx, ny, steps)  # warm-up
+    process_out = _lbm_run("process", nprocs, nx, ny, steps)
+    # Identical physics on both executors, rank by rank.
+    assert thread_out == process_out
+    thread_s = _best_seconds(lambda: _lbm_run("thread", nprocs, nx, ny, steps))
+    process_s = _best_seconds(lambda: _lbm_run("process", nprocs, nx, ny, steps))
+    updates = nx * ny * steps
+    _merge_record(
+        "lbm_4ranks_256x128_30steps",
+        {
+            "rate_units": "MLUPS (million lattice updates per second)",
+            "thread_seconds": thread_s,
+            "process_seconds": process_s,
+            "thread_rate": updates / thread_s / 1e6,
+            "process_rate": updates / process_s / 1e6,
+            "speedup": thread_s / process_s,
+        },
+    )
+
+
+# -- volume rendering ---------------------------------------------------------
+
+
+def _volren_worker(comm, dims: tuple, grid: tuple):
+    from repro.imaging import VolumeSpec, phantom_volume
+    from repro.volren import composite_distributed_mip, grid_boxes, mip_project
+
+    spec = VolumeSpec(*dims, np.float32)
+    volume = phantom_volume("brain", spec).astype(np.float64)
+    box = grid_boxes(dims, grid)[comm.rank]
+    x0, y0, z0 = box.offset
+    w, h, d = box.dims
+    block = volume[z0 : z0 + d, y0 : y0 + h, x0 : x0 + w]
+    partial = mip_project(block, "z")
+    frame = composite_distributed_mip(comm, box, partial, dims, axis="z")
+    return None if frame is None else float(frame.sum())
+
+
+def _volren_run(executor: str, dims: tuple, grid: tuple):
+    nprocs = int(np.prod(grid))
+    return run_spmd(nprocs, _volren_worker, dims, grid, executor=executor)
+
+
+def test_volren_executor_rates():
+    """Distributed MIP rendering rate, thread vs process executor (4 ranks)."""
+    dims, grid = (96, 96, 96), (2, 2, 1)
+    thread_out = _volren_run("thread", dims, grid)  # warm-up
+    process_out = _volren_run("process", dims, grid)
+    assert thread_out == process_out
+    thread_s = _best_seconds(lambda: _volren_run("thread", dims, grid))
+    process_s = _best_seconds(lambda: _volren_run("process", dims, grid))
+    voxels = int(np.prod(dims))
+    _merge_record(
+        "volren_mip_4ranks_96cube",
+        {
+            "rate_units": "Mvoxel/s (volume voxels projected per second)",
+            "thread_seconds": thread_s,
+            "process_seconds": process_s,
+            "thread_rate": voxels / thread_s / 1e6,
+            "process_rate": voxels / process_s / 1e6,
+            "speedup": thread_s / process_s,
+        },
+    )

@@ -5,6 +5,7 @@ from .api import (
     DDR_ReorganizeData,
     DDR_SetupDataMapping,
     Redistributor,
+    ResizeResult,
 )
 from .box import Box, boxes_from_flat, intersect_many
 from .halo import GhostExchanger, inflate_box
@@ -79,6 +80,7 @@ __all__ = [
     "RankPlan",
     "RecvEntry",
     "Redistributor",
+    "ResizeResult",
     "RoundSchedule",
     "SendEntry",
     "StaleMappingError",

@@ -16,7 +16,8 @@ Two layers:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -273,3 +274,189 @@ class Redistributor:
             out = np.full(shape, fill, dtype=self.descriptor.dtype)
         self.exchange(own_buffers, out, mapping=active)
         return out
+
+    # -- elastic malleability (resize / retarget) ----------------------------
+
+    def _clone_for(self, comm: Communicator) -> "Redistributor":
+        """A fresh redistributor with this one's configuration on ``comm``."""
+        return Redistributor(
+            comm,
+            self.descriptor.ndims,
+            self.descriptor.mpi_type,
+            backend=self.backend,
+            components=self.descriptor.components,
+            transport=self.transport,
+            reliability=self.reliability,
+        )
+
+    def retarget(self, comm: Communicator) -> None:
+        """Re-point this redistributor at a (possibly resized) communicator.
+
+        The shared reconfiguration primitive under both voluntary
+        :meth:`resize` and crash recovery
+        (:class:`repro.resilience.ResilientRedistributor`): the active
+        mapping — built for the old geometry — is invalidated (further use
+        raises :class:`~repro.core.mapping.StaleMappingError`) and the
+        descriptor is rebuilt for the new communicator size.  Local and
+        cheap; call :meth:`setup` afterwards to declare the new layout.
+        """
+        plan = self.descriptor.plan
+        if isinstance(plan, LocalMapping):
+            plan.invalidate()
+        self.comm = comm
+        self.descriptor = DataDescriptor.create(
+            comm.size,
+            self.descriptor.layout,
+            self.descriptor.mpi_type,
+            components=self.descriptor.components,
+        )
+
+    def resize(
+        self,
+        new_n: int,
+        own_buffers: Union[np.ndarray, Sequence[np.ndarray], None],
+        layout: Callable[[int, int], Optional[Box]],
+        *,
+        worker: Optional[Callable[..., Any]] = None,
+        worker_args: Sequence[Any] = (),
+        validate: bool = True,
+        retire_leavers: bool = True,
+    ) -> "ResizeResult":
+        """Remap live data onto a grown or shrunken rank set, without restart.
+
+        Collective over the current communicator.  ``own_buffers`` holds
+        this rank's live data for the active mapping's own chunks;
+        ``layout(rank, new_n)`` names the box each post-resize rank owns
+        (``None`` for a member that keeps no data).  The migration itself
+        is an ordinary components-aware DDR exchange — old ranks declare
+        their current chunks as *own*, the target layout as *need* — so
+        the result on every surviving rank is bitwise-equal to a fresh
+        scatter of the global array.
+
+        Growing (``new_n > size``) spawns the extra ranks into the running
+        world (:meth:`Communicator.spawn`); each runs
+        ``worker(result, *worker_args)`` after adopting its slice, so
+        ``worker`` is required and must mirror whatever collectives the
+        surviving ranks run next.  Shrinking ranks ``new_n..size-1`` out
+        migrates on the current communicator first, then splits them off;
+        leavers are retired in the liveness table (``retire_leavers``) and
+        get ``ResizeResult(member=False)``.  ``new_n == size`` is a pure
+        remap onto ``layout``.
+
+        Afterwards this redistributor is retargeted (old mappings raise
+        :class:`~repro.core.mapping.StaleMappingError`) and *unmapped*:
+        members call :meth:`setup` to declare the next working layout —
+        typically ``setup(own=[result.own], need=...)``.
+        """
+        if new_n < 1:
+            raise ValueError(f"resize target must be >= 1, got {new_n}")
+        m = self.comm.size
+        rank = self.comm.rank
+        own_boxes = list(self.mapping.own_chunks)
+        if own_buffers is None:
+            bufs: list[np.ndarray] = []
+        elif isinstance(own_buffers, np.ndarray):
+            bufs = [own_buffers]
+        else:
+            bufs = list(own_buffers)
+        if len(bufs) != len(own_boxes):
+            raise ValueError(
+                f"resize needs one buffer per active own chunk: got "
+                f"{len(bufs)} buffer(s) for {len(own_boxes)} chunk(s)"
+            )
+
+        if new_n > m:
+            if worker is None:
+                raise ValueError(
+                    "growing requires a worker for the spawned ranks: "
+                    "resize(..., worker=fn) runs fn(result, *worker_args) "
+                    "on each joiner after it adopts its slice"
+                )
+            spec = {
+                "ndims": self.descriptor.ndims,
+                "dtype": self.descriptor.mpi_type,
+                "components": self.descriptor.components,
+                "backend": self.backend,
+                "transport": self.transport,
+                "reliability": self.reliability,
+                "layout": layout,
+                "validate": validate,
+                "worker": worker,
+                "worker_args": tuple(worker_args),
+            }
+            union = self.comm.spawn(new_n - m, _resize_join, spec)
+            mover = self._clone_for(union)
+            new_box = layout(union.rank, new_n)
+            migration = mover.new_mapping(own=own_boxes, need=new_box, validate=validate)
+            data = mover.gather_need(bufs if bufs else None, mapping=migration)
+            migration.invalidate()
+            self.retarget(union)
+            return ResizeResult(True, union, self, new_box, data)
+
+        # Shrink — or same-size remap: migrate on the current communicator
+        # (leaving ranks declare need=None), then split the leavers off.
+        stay = rank < new_n
+        new_box = layout(rank, new_n) if stay else None
+        migration = self.new_mapping(own=own_boxes, need=new_box, validate=validate)
+        data = self.gather_need(bufs if bufs else None, mapping=migration)
+        migration.invalidate()
+        if new_n == m:
+            self.retarget(self.comm)
+            return ResizeResult(True, self.comm, self, new_box, data)
+        sub = self.comm.Split(0 if stay else -1, key=rank)
+        if not stay:
+            my_world = self.comm.world_ranks[rank]
+            plan = self.descriptor.plan
+            if isinstance(plan, LocalMapping):
+                plan.invalidate()
+            if retire_leavers:
+                self.comm.fabric.mark_retired(my_world)
+            return ResizeResult(False, None, None, None, None)
+        assert sub is not None
+        self.retarget(sub)
+        return ResizeResult(True, sub, self, new_box, data)
+
+
+@dataclass
+class ResizeResult:
+    """Per-rank outcome of :meth:`Redistributor.resize`.
+
+    ``member`` is False on a rank that left the world (shrink): every other
+    field is then ``None``.  On members, ``comm`` is the new communicator,
+    ``redistributor`` the retargeted (grow: spawned-side fresh)
+    redistributor — unmapped, awaiting ``setup()`` — ``own`` the box
+    ``layout(rank, new_n)`` assigned, and ``data`` its migrated contents
+    (``None`` when ``own`` is ``None``).
+    """
+
+    member: bool
+    comm: Optional[Communicator]
+    redistributor: Optional[Redistributor]
+    own: Optional[Box]
+    data: Optional[np.ndarray]
+
+
+def _resize_join(comm: Communicator, spec: dict) -> Any:
+    """Bootstrap body for ranks spawned into a world by ``resize`` (grow).
+
+    Runs the joiner's half of the migration exchange — no own chunks, the
+    target layout's box as need — then hands the adopted slice to the
+    user worker.  Collective order matches the members' side exactly:
+    one ``setup_data_mapping`` plus one exchange on the merged
+    communicator, after which all coordination is the worker's.
+    """
+    red = Redistributor(
+        comm,
+        spec["ndims"],
+        spec["dtype"],
+        backend=spec["backend"],
+        components=spec["components"],
+        transport=spec["transport"],
+        reliability=spec["reliability"],
+    )
+    new_box = spec["layout"](comm.rank, comm.size)
+    migration = red.new_mapping(own=[], need=new_box, validate=spec["validate"])
+    data = red.gather_need(None, mapping=migration)
+    migration.invalidate()
+    result = ResizeResult(True, comm, red, new_box, data)
+    return spec["worker"](result, *spec["worker_args"])

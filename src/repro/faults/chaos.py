@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import asdict, dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -246,6 +247,161 @@ def _resilient_exchange_worker(
     return red.recoveries, degraded
 
 
+#: Resize-chaos geometry: exchange epochs per run and how far above
+#: ``nprocs`` the seeded schedule may grow the world (spawn headroom).
+RESIZE_GENERATIONS = 6
+RESIZE_HEADROOM = 2
+
+#: Resize sweeps stay on the thread executor — the schedule mixes grows
+#: (rank spawn) and shrinks, and the point is the resize protocol under
+#: transient faults, not the transport matrix.
+RESIZE_COMBOS = (
+    ("thread", TRANSPORT_PACKED),
+    ("thread", TRANSPORT_ZEROCOPY),
+)
+
+
+def _chaos_slab(nx: int, ny: int, rank: int, n: int) -> Box:
+    """``layout(rank, n)`` callable for resize: row slabs of the field."""
+    return slab_box(nx, ny, n, rank)
+
+
+def _declare_slab_to_tile(rr: ResilientRedistributor, nx: int, ny: int) -> None:
+    own = slab_box(nx, ny, rr.comm.size, rr.comm.rank)
+    need = grid_boxes((nx, ny), grid_shape(rr.comm.size, (nx, ny)))[rr.comm.rank]
+    rr.setup([own], need)
+
+
+def _resize_epochs(
+    rr: ResilientRedistributor, nx: int, ny: int, generations: int,
+    schedule: tuple,
+) -> tuple[str, int]:
+    """Shared epoch loop for resize chaos: stayers continue it, spawned
+    joiners enter it (at the members' epoch), leavers return out of it.
+
+    Every generation's slab-to-tile exchange is verified bitwise; every
+    scheduled resize additionally verifies the migrated slab bitwise on
+    every member — a resize that lands wrong bytes is silent corruption
+    and fails the run.
+    """
+    reference = _reference(nx, ny)
+    sched = dict(schedule)
+    applied = 0
+    while rr.epoch < generations:
+        scale = np.float32(rr.epoch + 1)
+        need_box = grid_boxes(
+            (nx, ny), grid_shape(rr.comm.size, (nx, ny))
+        )[rr.comm.rank]
+        buffers = [
+            np.ascontiguousarray(_extract(reference, box)) * scale
+            for box in rr.own_boxes
+        ]
+        out = rr.gather_need(buffers, fill=-1.0)
+        if not np.array_equal(out, _extract(reference, need_box) * scale):
+            raise ChaosVerificationError(
+                f"rank {rr.comm.rank} generation {int(scale)}: exchange "
+                f"output does not match the reference (silent corruption)"
+            )
+        target = sched.get(rr.epoch)
+        if target is not None and target != rr.comm.size:
+            buffers = [
+                np.ascontiguousarray(_extract(reference, box)) * scale
+                for box in rr.own_boxes
+            ]
+            result = rr.resize(
+                target,
+                buffers,
+                partial(_chaos_slab, nx, ny),
+                worker=_resize_join,
+                worker_args=(nx, ny, generations, schedule),
+            )
+            applied += 1
+            if not result.member:
+                return ("left", applied)
+            migrated = result.data.reshape(result.own.np_shape())
+            if not np.array_equal(
+                migrated, _extract(reference, result.own) * scale
+            ):
+                raise ChaosVerificationError(
+                    f"rank {rr.comm.rank}: resize to {target} migrated "
+                    f"wrong bytes (silent corruption)"
+                )
+            _declare_slab_to_tile(rr, nx, ny)
+    return ("done", applied)
+
+
+def _resize_join(
+    rr: ResilientRedistributor, result, nx: int, ny: int, generations: int,
+    schedule: tuple,
+) -> tuple[str, int]:
+    """Spawned-rank entry: verify the adopted slab, then join the loop."""
+    reference = _reference(nx, ny)
+    migrated = result.data.reshape(result.own.np_shape())
+    expect = _extract(reference, result.own) * np.float32(rr.epoch)
+    if not np.array_equal(migrated, expect):
+        raise ChaosVerificationError(
+            f"spawned rank {rr.comm.rank} adopted wrong bytes "
+            f"(silent corruption)"
+        )
+    _declare_slab_to_tile(rr, nx, ny)
+    return _resize_epochs(rr, nx, ny, generations, schedule)
+
+
+def _resize_worker(
+    comm: Communicator, nx: int, ny: int, backend: str, transport: str,
+    generations: int, schedule: tuple,
+) -> tuple[str, int]:
+    rr = ResilientRedistributor(
+        comm, ndims=2, dtype=np.float32, backend=backend, transport=transport
+    )
+    _declare_slab_to_tile(rr, nx, ny)
+    return _resize_epochs(rr, nx, ny, generations, schedule)
+
+
+def _resize_schedule(
+    plan_seed: int, nprocs: int, generations: int, max_ranks: int
+) -> tuple:
+    """Seeded ``(epoch, new_n)`` points; every point changes the size."""
+    meta = random.Random(plan_seed * 7919 + 17)
+    points = sorted(meta.sample(range(1, generations), k=2))
+    current = nprocs
+    schedule = []
+    for epoch in points:
+        target = meta.choice(
+            [s for s in range(2, max_ranks + 1) if s != current]
+        )
+        schedule.append((epoch, target))
+        current = target
+    return tuple(schedule)
+
+
+def _resize_pipeline_config(
+    backend: str, frame_drop: str, plan_seed: int
+) -> PipelineConfig:
+    """Elastic (``on_load="resize"``) pipeline run with a seeded schedule."""
+    meta = random.Random(plan_seed * 104729 + 3)
+    splits = [(2, 2), (3, 1), (2, 1), (4, 1), (3, 2)]
+    current = (3, 2)
+    schedule = []
+    for frame in (1, 3):
+        choice = meta.choice([s for s in splits if s != current])
+        schedule.append((frame, *choice))
+        current = choice
+    return PipelineConfig(
+        lbm=LbmConfig(nx=32, ny=16),
+        m=3,
+        n=2,
+        steps=20,
+        output_every=5,
+        backend=backend,
+        frame_drop=frame_drop,
+        frame_deadline_s=0.5,
+        reliability=CHAOS_POLICY,
+        on_load="resize",
+        resize_schedule=tuple(schedule),
+    )
+
+
 def _pipeline_worker(comm: Communicator, config: PipelineConfig):
     return run_pipeline(comm, config)
 
@@ -321,6 +477,7 @@ def run_chaos(
     nprocs: int = 4,
     log=None,
     crashes: bool = False,
+    resizes: bool = False,
 ) -> ChaosReport:
     """Sweep ``runs`` randomized fault schedules; see the module docstring.
 
@@ -336,27 +493,43 @@ def run_chaos(
     must end recovered-bitwise-correct (:data:`RECOVERED`), degraded by
     policy (:data:`DEGRADED`), or with a typed error; a hang or silent
     corruption still fails the run.
+
+    With ``resizes=True`` every plan draws only *self-healing* fault
+    families (no crashes, no drops) and the workloads exercise the
+    voluntary resize path instead: a seeded mid-epoch resize schedule
+    (grows that spawn ranks, shrinks that retire them) against
+    :meth:`ResilientRedistributor.resize`, plus elastic
+    (``on_load="resize"``) pipeline runs.  Every generation — and every
+    migrated slab — must be bitwise-correct or surface a typed error.
     """
     if nprocs < 2:
         raise ValueError(f"chaos needs nprocs >= 2, got {nprocs}")
+    if crashes and resizes:
+        raise ValueError("crashes and resizes modes are mutually exclusive")
     report = ChaosReport()
     for index in range(runs):
         plan_seed = seed + index
         backend = BACKENDS[index % len(BACKENDS)]
         executor, transport = COMBOS[(index // len(BACKENDS)) % len(COMBOS)]
-        if crashes or index % PIPELINE_EVERY == PIPELINE_EVERY - 1:
+        if resizes:
+            executor, transport = RESIZE_COMBOS[
+                (index // len(BACKENDS)) % len(RESIZE_COMBOS)
+            ]
+        elif crashes or index % PIPELINE_EVERY == PIPELINE_EVERY - 1:
             # Crash recovery and the pipeline need the shared-memory
             # blackboard (buddy checkpoints); keep those on threads.
             if executor == "process":
                 executor, transport = "thread", TRANSPORT_PACKED
         is_pipeline = index % PIPELINE_EVERY == PIPELINE_EVERY - 1
+        schedule: tuple = ()
         if is_pipeline:
-            config = (
-                _crash_pipeline_config if crashes else _pipeline_config
-            )(
-                backend,
-                "skip" if (index // PIPELINE_EVERY) % 2 == 0 else "stale",
-            )
+            drop = "skip" if (index // PIPELINE_EVERY) % 2 == 0 else "stale"
+            if resizes:
+                config = _resize_pipeline_config(backend, drop, plan_seed)
+            else:
+                config = (
+                    _crash_pipeline_config if crashes else _pipeline_config
+                )(backend, drop)
             world_size = config.m + config.n
         else:
             config = None
@@ -364,10 +537,17 @@ def run_chaos(
         # The pipeline tolerates frame loss by policy; crashes there are
         # still allowed (they surface typed or recovered), but drops are
         # the interesting stimulus.  The plain exchange gets the full
-        # fault menu; crash mode narrows it to one scripted death.
+        # fault menu; crash mode narrows it to one scripted death, and
+        # resize mode narrows it to the self-healing families so bitwise
+        # completion is the expected outcome.
         if crashes:
             window = 90 if is_pipeline else 20
             plan = _crash_plan(plan_seed, world_size, ops, window)
+        elif resizes:
+            plan = FaultPlan.random(
+                plan_seed, nprocs, ops=ops,
+                allow_crash=False, allow_drop=False,
+            )
         else:
             plan = FaultPlan.random(plan_seed, nprocs, ops=ops)
         outcome, error, injected = OK, "", 0
@@ -385,6 +565,24 @@ def run_chaos(
                             deadlock_timeout=DEADLOCK_TIMEOUT_S,
                         )
                         outcome = _classify_pipeline(results)
+                    elif resizes:
+                        schedule = _resize_schedule(
+                            plan_seed, nprocs, RESIZE_GENERATIONS,
+                            nprocs + RESIZE_HEADROOM,
+                        )
+                        results = run_spmd(
+                            nprocs,
+                            _resize_worker,
+                            16,
+                            8,
+                            backend,
+                            transport,
+                            RESIZE_GENERATIONS,
+                            schedule,
+                            deadlock_timeout=DEADLOCK_TIMEOUT_S,
+                            spawn_slots=nprocs + RESIZE_HEADROOM,
+                        )
+                        outcome = _classify_resize(results, schedule)
                     elif crashes:
                         results = run_spmd(
                             nprocs,
@@ -417,10 +615,14 @@ def run_chaos(
             outcome, error = _classify_failure(exc)
         except Exception as exc:  # noqa: BLE001 - bare exceptions fail the run
             outcome, error = FAILED, f"{type(exc).__name__}: {exc}"
+        if is_pipeline:
+            workload = "pipeline-resize" if resizes else "pipeline"
+        else:
+            workload = "resize" if resizes else "redistribute"
         run = ChaosRun(
             index=index,
             seed=plan_seed,
-            workload="pipeline" if is_pipeline else "redistribute",
+            workload=workload,
             backend=backend,
             transport=transport,
             outcome=outcome,
@@ -450,6 +652,25 @@ def _classify_exchange(results: list) -> str:
         return DEGRADED
     if crashed or any(recoveries for recoveries, _ in survivors):
         return RECOVERED
+    return OK
+
+
+def _classify_resize(results: list, schedule: tuple) -> str:
+    """Outcome of a resize run (no exception escaped).
+
+    Beyond per-rank bitwise checks (raised inside the workers), require
+    that the whole schedule was applied: rank 0 stays a member throughout
+    (every target is >= 2), so its counter must equal the schedule length.
+    """
+    outcomes = [r for r in results if isinstance(r, tuple) and len(r) == 2]
+    if not outcomes:
+        raise ChaosVerificationError("resize run returned no rank outcomes")
+    applied = max(count for _, count in outcomes)
+    if applied != len(schedule):
+        raise ChaosVerificationError(
+            f"resize schedule only partially applied: {applied} of "
+            f"{len(schedule)} resizes"
+        )
     return OK
 
 

@@ -5,6 +5,9 @@ from .pipeline import (
     FRAME_DROP_MODES,
     FRAME_DROP_SKIP,
     FRAME_DROP_STALE,
+    ON_LOAD_IGNORE,
+    ON_LOAD_MODES,
+    ON_LOAD_RESIZE,
     ON_RANK_LOSS_FAIL,
     ON_RANK_LOSS_MODES,
     ON_RANK_LOSS_SHRINK,
@@ -26,6 +29,9 @@ __all__ = [
     "FRAME_DROP_MODES",
     "FRAME_DROP_SKIP",
     "FRAME_DROP_STALE",
+    "ON_LOAD_IGNORE",
+    "ON_LOAD_MODES",
+    "ON_LOAD_RESIZE",
     "ON_RANK_LOSS_FAIL",
     "ON_RANK_LOSS_MODES",
     "ON_RANK_LOSS_SHRINK",

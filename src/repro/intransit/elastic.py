@@ -1,0 +1,303 @@
+"""Elastic pipeline: resize the M-to-N split while the run is live.
+
+``PipelineConfig(on_load="resize", resize_schedule=((frame, m, n), ...))``
+routes here.  The rank pool is fixed at ``config.m + config.n`` world
+ranks, but the *role split* is not: at each scheduled frame every pool
+rank — active or parked — joins a reconfiguration collective that
+
+1. migrates the global LBM state from the old slab decomposition onto the
+   new one with a components=9 DDR exchange.  The exchange runs on one
+   persistent world-spanning :class:`~repro.core.api.Redistributor` whose
+   mapping is regenerated per resize (``new_mapping`` + use +
+   ``invalidate``) — the same ``LocalMapping`` lifecycle crash recovery
+   and :meth:`Redistributor.resize` use, so voluntary pipeline resizing
+   exercises exactly the reconfiguration path the resilience layer does;
+2. hands the analysis root's frame ledger to wherever the root role lands
+   (keyed per frame, so a handoff never double-counts);
+3. re-splits the pool — ranks ``[0, m)`` simulate, ``[m, m+n)`` analyse,
+   the rest park.  A parked rank simply blocks at the next scheduled
+   boundary's collectives until the active ranks reach that frame, then
+   takes whatever role the new split assigns it.  Either side can grow or
+   shrink independently of the other as long as ``m >= n >= 1`` and
+   ``m + n`` fits the pool.
+
+The simulation is deterministic and the migration is exact (no checkpoint
+staleness is possible — the state moves synchronously), so a resized run's
+rendered frames are bitwise identical to a fixed-split run's, which the
+elastic tests assert frame by frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.api import Redistributor
+from ..core.box import Box
+from ..lbm.decompose import slab_box
+from ..lbm.distributed import DistributedLbm
+from ..mpisim.comm import Communicator
+from ..obs.tracer import TRACER
+from ..resilience.redistributor import RESILIENCE_STATS
+from ..volren.decompose import grid_boxes, grid_shape
+from .pipeline import (
+    FRAME_DROP_FAIL,
+    FRAME_DROP_SKIP,
+    PipelineConfig,
+    PipelineResult,
+    _render_variable,
+    _sim_fields,
+)
+from .resilient import _ResilientPipeline
+from .stream import StreamReceiver, StreamSender, StreamTopology
+
+__all__ = ["run_elastic_pipeline"]
+
+ROLE_SIM = "sim"
+ROLE_ANALYSIS = "analysis"
+ROLE_PARKED = "parked"
+
+
+def run_elastic_pipeline(
+    world: Communicator, config: PipelineConfig
+) -> PipelineResult:
+    """SPMD entry point for ``on_load="resize"`` pipelines."""
+    if world.size != config.m + config.n:
+        raise ValueError(
+            f"world has {world.size} ranks; config needs {config.m + config.n}"
+        )
+    return _ElasticPipeline(world, config).run()
+
+
+class _ElasticPipeline:
+    """Per-rank state machine; role state is rebuilt at every resize."""
+
+    def __init__(self, world: Communicator, config: PipelineConfig) -> None:
+        self.config = config
+        self.world = world
+        self.m = config.m
+        self.n = config.n
+        self.schedule = {f: (m, n) for f, m, n in (config.resize_schedule or ())}
+        self.resizes = 0
+        self.ledger: dict = {}  # (frame, var_index) -> entry, analysis root only
+        # One world-spanning state mover reused across every resize: a
+        # reconfiguration is a new mapping generation, not a new
+        # redistributor (LBM populations are float64, 9 components).
+        self.mover = Redistributor(
+            world, ndims=2, dtype=np.float64, components=9
+        )
+        self.red: Optional[Redistributor] = None  # analysis-side, retargeted
+        self._assume_roles(frame=0, migrated=None)
+
+    # -- role assignment -----------------------------------------------------
+
+    @staticmethod
+    def _role_of(rank: int, m: int, n: int) -> str:
+        if rank < m:
+            return ROLE_SIM
+        if rank < m + n:
+            return ROLE_ANALYSIS
+        return ROLE_PARKED
+
+    def _assume_roles(self, frame: int, migrated: Optional[np.ndarray]) -> None:
+        config = self.config
+        nx, ny = config.lbm.nx, config.lbm.ny
+        self.role = self._role_of(self.world.rank, self.m, self.n)
+        self.topology = StreamTopology(self.m, self.n, nx, ny)
+        color = {ROLE_SIM: 0, ROLE_ANALYSIS: 1, ROLE_PARKED: -1}[self.role]
+        self.sub = self.world.Split(color, key=self.world.rank)
+        if self.role == ROLE_SIM:
+            self.slab = self.topology.sim_slab(self.sub.rank)
+            self.sender = StreamSender(self.world, self.topology, self.sub.rank)
+            self.sim = DistributedLbm(self.sub, config.lbm)
+            if migrated is not None:
+                self.sim.f[:, 1:-1, :] = np.moveaxis(migrated, -1, 0)
+                self.sim.step_count = frame * config.output_every
+        elif self.role == ROLE_ANALYSIS:
+            self.receiver = StreamReceiver(self.world, self.topology, self.sub.rank)
+            grid = grid_shape(self.n, (nx, ny))
+            self.need: Box = grid_boxes((nx, ny), grid)[self.sub.rank]
+            if self.red is None:
+                self.red = Redistributor(
+                    self.sub,
+                    ndims=2,
+                    dtype=np.float32,
+                    backend=config.backend,
+                    reliability=config.reliability,
+                )
+            else:
+                # A rank that stays on the analysis side across a resize
+                # keeps its redistributor and retargets it at the new
+                # sub-communicator — the shared reconfiguration primitive.
+                self.red.retarget(self.sub)
+            self.red.setup(own=self.receiver.owned_chunks, need=self.need)
+            self.tile_buffer = np.empty(self.need.np_shape(), dtype=np.float32)
+            self.last_slabs = {
+                i: [
+                    np.zeros(slab.np_shape(), dtype=np.float32)
+                    for _, slab in self.receiver.sources
+                ]
+                for i in range(len(config.variables))
+            }
+            self.origin = (self.need.offset[1], self.need.offset[0])
+
+    # -- the frame loop ------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        for frame in range(self.config.n_frames):
+            boundary = self.schedule.get(frame)
+            if boundary is not None:
+                self._reconfigure(frame, *boundary)
+            if self.role == ROLE_SIM:
+                self._sim_frame(frame)
+            elif self.role == ROLE_ANALYSIS:
+                self._analysis_frame(frame)
+            # Parked ranks do nothing until the next boundary's collectives.
+        return self._result()
+
+    def _sim_frame(self, frame: int) -> None:
+        config = self.config
+        with TRACER.span("phase.sim_step", frame=frame):
+            self.sim.step(config.output_every)
+            fields = _sim_fields(self.sim, config.variables)
+        for var_index, name in enumerate(config.variables):
+            with TRACER.span("phase.stream_send", frame=frame, variable=name):
+                self.sender.send_frame(frame, fields[name], var_index)
+
+    def _analysis_frame(self, frame: int) -> None:
+        config = self.config
+        deadline_s = config.effective_frame_deadline_s
+        for var_index, name in enumerate(config.variables):
+            status = "ok"
+            with TRACER.span("phase.stream_recv", frame=frame, variable=name):
+                if config.frame_drop == FRAME_DROP_FAIL:
+                    slabs = self.receiver.recv_frame(frame, var_index)
+                else:
+                    slabs = self.receiver.try_recv_frame(
+                        frame, var_index, deadline_s
+                    )
+                    if slabs is None:
+                        status = (
+                            "dropped"
+                            if config.frame_drop == FRAME_DROP_SKIP
+                            else "stale"
+                        )
+            if status == "ok":
+                self.last_slabs[var_index] = slabs
+            else:
+                slabs = self.last_slabs[var_index]
+            with TRACER.span("phase.redistribute", frame=frame, variable=name):
+                self.red.exchange(slabs, self.tile_buffer)
+
+            tile_rgb = None
+            if status != "dropped":
+                with TRACER.span("phase.render", frame=frame, variable=name):
+                    tile_rgb = _render_variable(self.tile_buffer, name, config)
+            want_raw = (
+                var_index == 0 and config.save_raw and self._is_raw_frame(frame)
+            )
+            raw_tile = (
+                self.tile_buffer.copy()
+                if want_raw and status != "dropped"
+                else None
+            )
+            gathered = self.sub.gather(
+                (self.origin, tile_rgb, raw_tile, status), root=0
+            )
+            if self.sub.rank != 0:
+                continue
+            assert gathered is not None
+            self._record(frame, var_index, name, gathered, want_raw)
+
+    # Ledger bookkeeping and raw-frame cadence are identical to the
+    # shrink-mode pipeline's; reuse them rather than fork the logic.
+    _is_raw_frame = _ResilientPipeline._is_raw_frame
+    _record = _ResilientPipeline._record
+
+    # -- voluntary reconfiguration -------------------------------------------
+
+    def _reconfigure(self, frame: int, new_m: int, new_n: int) -> None:
+        """Re-split the pool to ``new_m`` sims + ``new_n`` analysis ranks.
+
+        Collective over the whole pool (parked ranks included): state
+        migration, ledger handoff, then role re-assignment.  The migration
+        source is the live simulation state — not a checkpoint — so the
+        resized run continues bit-exactly.
+        """
+        config = self.config
+        self.resizes += 1
+        RESILIENCE_STATS.incr("pipeline_resizes")
+        old_root = self.m  # world rank of the analysis root (sub rank 0)
+        with TRACER.span(
+            "resilience.pipeline_resize", frame=frame, m=new_m, n=new_n
+        ):
+            own: list[Box] = []
+            bufs: list[np.ndarray] = []
+            if self.role == ROLE_SIM:
+                own = [self.slab]
+                bufs = [
+                    np.ascontiguousarray(np.moveaxis(self.sim.interior, 0, -1))
+                ]
+            need = (
+                slab_box(config.lbm.nx, config.lbm.ny, new_m, self.world.rank)
+                if self.world.rank < new_m
+                else None
+            )
+            migration = self.mover.new_mapping(own=own, need=need, validate=False)
+            migrated = self.mover.gather_need(
+                bufs if bufs else None, mapping=migration
+            )
+            migration.invalidate()  # one generation per resize
+            led = self.world.bcast(
+                self.ledger if self.world.rank == old_root else None,
+                root=old_root,
+            )
+            self.m, self.n = new_m, new_n
+            self._assume_roles(frame, migrated)
+        if self.role == ROLE_ANALYSIS and self.sub.rank == 0:
+            self.ledger = led
+        else:
+            self.ledger = {}
+
+    # -- result assembly -----------------------------------------------------
+
+    def _result(self) -> PipelineResult:
+        config = self.config
+        if self.role == ROLE_SIM:
+            return PipelineResult(
+                role="sim", frames=config.n_frames, resizes=self.resizes
+            )
+        if self.role == ROLE_PARKED:
+            return PipelineResult(role="parked", resizes=self.resizes)
+        is_root = self.sub.rank == 0
+        result = PipelineResult(
+            role="analysis_root" if is_root else "analysis",
+            resizes=self.resizes,
+        )
+        if not is_root:
+            return result
+        nx, ny = config.lbm.nx, config.lbm.ny
+        from ..io.raw import raw_frame_bytes
+
+        for frame in range(config.n_frames):
+            result.frames += 1
+            result.raw_bytes += raw_frame_bytes(nx, ny) * len(config.variables)
+            if config.raw_every_frames is not None and self._is_raw_frame(frame):
+                result.dual_raw_bytes += raw_frame_bytes(nx, ny)
+            for var_index, name in enumerate(config.variables):
+                entry = self.ledger.get((frame, var_index))
+                if entry is None:
+                    continue
+                if entry["status"] == "dropped":
+                    result.frames_dropped += 1
+                    continue
+                if entry["status"] == "stale":
+                    result.frames_stale += 1
+                result.jpeg_bytes += entry["jpeg"]
+                result.jpeg_bytes_by_variable[name] = (
+                    result.jpeg_bytes_by_variable.get(name, 0) + entry["jpeg"]
+                )
+                if var_index == 0 and config.keep_frames:
+                    result.frames_rendered.append(entry["rgb"])
+        return result

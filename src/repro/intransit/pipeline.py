@@ -50,6 +50,14 @@ ON_RANK_LOSS_SHRINK = "shrink"  # reconfigure over the survivors and continue
 
 ON_RANK_LOSS_MODES = (ON_RANK_LOSS_FAIL, ON_RANK_LOSS_SHRINK)
 
+#: Load policies (``PipelineConfig.on_load``): what the pipeline does about
+#: *voluntary* reconfiguration — resizing the sim/analysis split while the
+#: run is live (as opposed to reacting to a crash).
+ON_LOAD_IGNORE = "ignore"  # fixed M-to-N split for the whole run
+ON_LOAD_RESIZE = "resize"  # re-split the rank pool at scheduled frames
+
+ON_LOAD_MODES = (ON_LOAD_IGNORE, ON_LOAD_RESIZE)
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -80,6 +88,20 @@ class PipelineConfig:
     :mod:`repro.intransit.resilient`).  ``checkpoint`` tunes the buddy
     replication; ``None`` uses a :class:`~repro.resilience.CheckpointPolicy`
     that retains every frame.
+
+    ``on_load="resize"`` enables *voluntary* elastic reconfiguration (see
+    :mod:`repro.intransit.elastic`): ``resize_schedule`` is a tuple of
+    ``(frame, m, n)`` triples, and at each scheduled frame the whole rank
+    pool re-splits into ``m`` simulation + ``n`` analysis ranks (either
+    side may grow or shrink independently; ranks left over are parked
+    until a later entry drafts them back).  Simulation state migrates onto
+    the new slab decomposition through a components=9 DDR exchange on one
+    persistent world-wide redistributor — each resize is a fresh
+    ``LocalMapping`` generation, the same lifecycle crash recovery uses.
+    Such schedules are typically produced by an
+    :class:`~repro.autoscale.Autoscaler` watching exchange-time and
+    queue-depth metrics.  ``on_load="resize"`` composes with the frame-drop
+    policies but not (yet) with ``on_rank_loss="shrink"``.
     """
 
     lbm: LbmConfig
@@ -100,6 +122,8 @@ class PipelineConfig:
     reliability: Optional[ReliabilityPolicy] = None
     on_rank_loss: str = ON_RANK_LOSS_FAIL
     checkpoint: Optional[CheckpointPolicy] = None
+    on_load: str = ON_LOAD_IGNORE
+    resize_schedule: Optional[tuple] = None  # ((frame, m, n), ...)
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.output_every < 1:
@@ -118,6 +142,46 @@ class PipelineConfig:
             self.checkpoint, CheckpointPolicy
         ):
             raise ValueError("checkpoint must be a CheckpointPolicy or None")
+        if self.on_load not in ON_LOAD_MODES:
+            raise ValueError(
+                f"unknown on_load {self.on_load!r}; choose one of {ON_LOAD_MODES}"
+            )
+        if self.on_load == ON_LOAD_RESIZE:
+            if self.on_rank_loss == ON_RANK_LOSS_SHRINK:
+                raise ValueError(
+                    'on_load="resize" does not compose with '
+                    'on_rank_loss="shrink" yet; pick one reconfiguration mode'
+                )
+            if not self.resize_schedule:
+                raise ValueError(
+                    'on_load="resize" needs a resize_schedule of '
+                    "(frame, m, n) triples"
+                )
+            pool = self.m + self.n
+            last_frame = 0
+            for entry in self.resize_schedule:
+                if len(entry) != 3:
+                    raise ValueError(
+                        f"resize_schedule entries are (frame, m, n); got {entry!r}"
+                    )
+                frame, m, n = entry
+                if frame <= last_frame:
+                    raise ValueError(
+                        "resize_schedule frames must be strictly increasing "
+                        f"and >= 1; got frame {frame} after {last_frame}"
+                    )
+                last_frame = frame
+                if n < 1 or m < n:
+                    raise ValueError(
+                        f"resize to m={m}, n={n} violates m >= n >= 1"
+                    )
+                if m + n > pool:
+                    raise ValueError(
+                        f"resize to m={m}, n={n} exceeds the fixed rank pool "
+                        f"of {pool}"
+                    )
+        elif self.resize_schedule is not None:
+            raise ValueError('resize_schedule requires on_load="resize"')
         if self.frame_deadline_s is not None and self.frame_deadline_s <= 0:
             raise ValueError("frame_deadline_s must be positive or None")
         if self.reliability is not None and not isinstance(
@@ -170,6 +234,7 @@ class PipelineResult:
     frames_stale: int = 0  # (frame, variable) pairs rendered with stale data
     recoveries: int = 0  # shrink-mode reconfigurations this rank survived
     ranks_lost: int = 0  # members removed across those reconfigurations
+    resizes: int = 0  # voluntary on_load="resize" reconfigurations applied
 
     @property
     def data_reduction(self) -> float:
@@ -194,6 +259,10 @@ class PipelineResult:
 
 def run_pipeline(world: Communicator, config: PipelineConfig) -> PipelineResult:
     """SPMD entry point: call on every rank of a (m + n)-rank world."""
+    if config.on_load == ON_LOAD_RESIZE:
+        from .elastic import run_elastic_pipeline
+
+        return run_elastic_pipeline(world, config)
     if config.on_rank_loss == ON_RANK_LOSS_SHRINK:
         # Deferred import: the resilient runner pulls in the recovery
         # stack, which plain fail-mode pipelines never need.

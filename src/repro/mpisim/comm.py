@@ -57,6 +57,7 @@ from .errors import (
     CommunicatorError,
     DeadlineError,
     ProcessFailedError,
+    RankCrashError,
     RevokedError,
     TruncationError,
 )
@@ -253,6 +254,21 @@ class Fabric:
         #: executor overrides it with a per-run prefix so the parent can
         #: sweep ``/dev/shm`` for hard-killed ranks' leftovers.
         self.shm_prefix: Optional[str] = None
+        #: Segment-name prefix for cross-process blackboard stores (the
+        #: shm-backed buddy checkpoint store).  ``None`` on the thread
+        #: fabric — there, ``shared`` is already one address space.
+        self.blackboard_prefix: Optional[str] = None
+        #: Whether the executor that owns this fabric runs in resilient
+        #: mode (``run_spmd(..., resilient=True)``): a spawned rank that
+        #: raises :class:`RankCrashError` is then marked dead instead of
+        #: aborting the run, mirroring the original ranks' contract.
+        self.resilient = False
+        #: Next unallocated world rank (``Communicator.spawn`` grows from
+        #: here) and failures raised by spawned ranks — those have no slot
+        #: in the driver's result list, so the executor merges this dict
+        #: into its failure report after the join.
+        self._next_world = nprocs
+        self.spawn_failures: dict[int, BaseException] = {}
 
     # -- shm staging ---------------------------------------------------------
 
@@ -407,6 +423,92 @@ class Fabric:
             gone = self._gone
             if all(w in entry["reads"] for w in members if w not in gone):
                 self._agreements.pop(key, None)
+
+    # -- dynamic world growth (Communicator.spawn) ---------------------------
+
+    def claim_world_slots(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh world ranks (called by the spawn root).
+
+        The thread fabric grows in place: new per-rank condition variables
+        are appended, so existing world ranks keep their indices and every
+        established queue stays valid.  The process executor overrides this
+        to hand out pre-provisioned reserve slots instead (forked ranks
+        need queues that existed before the fork).
+        """
+        with self._state_lock:
+            start = self._next_world
+            for _ in range(count):
+                lock = threading.Lock()
+                self._locks.append(lock)
+                self._conds.append(threading.Condition(lock))
+            self.nprocs = len(self._locks)
+            self._next_world = start + count
+            return list(range(start, start + count))
+
+    def note_world_slots(self, worlds: Sequence[int]) -> None:
+        """Record world slots another rank's fabric claimed.
+
+        On the thread fabric every rank shares one object, so this is a
+        no-op beyond an idempotent counter bump; under the process executor
+        each rank holds its own fabric and uses this to keep the slot
+        allocator in lockstep with the spawn root.
+        """
+        if not worlds:
+            return
+        top = max(worlds) + 1
+        with self._state_lock:
+            while len(self._locks) < top:
+                lock = threading.Lock()
+                self._locks.append(lock)
+                self._conds.append(threading.Condition(lock))
+            self.nprocs = max(self.nprocs, len(self._locks))
+            self._next_world = max(self._next_world, top)
+
+    def launch_rank(
+        self,
+        world_rank: int,
+        comm_id: Hashable,
+        world_ranks: Sequence[int],
+        rank: int,
+        lineage: Sequence[Hashable],
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        """Start a freshly spawned rank running ``fn(comm, *args, **kwargs)``.
+
+        Thread-fabric implementation: a daemon worker thread with the same
+        failure contract as ``run_spmd``'s original workers — a clean
+        return retires the rank in the liveness table, a
+        :class:`RankCrashError` on a resilient fabric marks it dead, and
+        anything else aborts the run and is recorded in
+        ``spawn_failures`` (spawned ranks have no result-list slot).
+        """
+        comm = Communicator(self, comm_id, world_ranks, rank, lineage=lineage)
+
+        def main() -> None:
+            TRACER.set_thread_rank(world_rank)
+            try:
+                fn(comm, *args, **kwargs)
+            except AbortError:
+                pass
+            except RankCrashError as exc:
+                if self.resilient:
+                    self.mark_dead(world_rank)
+                else:
+                    with self._state_lock:
+                        self.spawn_failures[world_rank] = exc
+                    self.abort(exc)
+            except BaseException as exc:  # noqa: BLE001 - must propagate anything
+                with self._state_lock:
+                    self.spawn_failures[world_rank] = exc
+                self.abort(exc)
+            else:
+                self.mark_retired(world_rank)
+
+        threading.Thread(
+            target=main, name=f"spmd-spawn-{world_rank}", daemon=True
+        ).start()
 
     # -- mailbox operations -------------------------------------------------
 
@@ -812,6 +914,50 @@ class Communicator:
         new_id = ("shrink", self.comm_id, self._shrink_seq)
         new_comm = Communicator(
             self.fabric, new_id, survivors, survivors.index(my_world)
+        )
+        new_comm.transport = self.transport
+        return new_comm
+
+    def spawn(self, count: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> "Communicator":
+        """Grow the world: launch ``count`` new ranks and merge them in.
+
+        The inverse of :meth:`shrink`, and the one-call analogue of
+        ``MPI_Comm_spawn`` + ``MPI_Intercomm_merge``: every current member
+        calls ``spawn`` collectively with the same ``count``; rank 0 claims
+        fresh world slots and launches them running
+        ``fn(newcomm, *args, **kwargs)``.  Returns the merged communicator —
+        existing members keep their rank order, spawned ranks are appended
+        densely after them.  The merged communicator *shares* this one's
+        lineage (unlike ``shrink``, which starts a fresh one): revoking the
+        parent must still kick spawned ranks out of their collectives, so
+        crash recovery keeps working across a grow.
+
+        Under the process executor the new ranks are forked from the spawn
+        root and occupy reserve queue slots provisioned at launch
+        (``run_spmd(..., spawn_slots=k)`` or ``DDR_SPAWN_SLOTS``); the
+        thread executor grows without pre-provisioning.  A spawned rank
+        that returns from ``fn`` retires in the liveness table; its return
+        value is discarded (spawned ranks have no slot in the driver's
+        result list), so workers that produce data should communicate it.
+        """
+        if count < 1:
+            raise CommunicatorError(f"spawn count must be >= 1, got {count}")
+        seq = self._next_seq()
+        new_worlds = self.bcast(
+            self.fabric.claim_world_slots(count) if self._rank == 0 else None,
+            root=0,
+        )
+        self.fabric.note_world_slots(new_worlds)
+        new_id = ("spawn", self.comm_id, seq)
+        merged = self._world_ranks + tuple(new_worlds)
+        if self._rank == 0:
+            base = len(self._world_ranks)
+            for offset, world in enumerate(new_worlds):
+                self.fabric.launch_rank(
+                    world, new_id, merged, base + offset, self._lineage, fn, args, kwargs
+                )
+        new_comm = Communicator(
+            self.fabric, new_id, merged, self._rank, lineage=self._lineage
         )
         new_comm.transport = self.transport
         return new_comm

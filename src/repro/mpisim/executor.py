@@ -137,6 +137,7 @@ def run_spmd(
     join_timeout: Optional[float] = None,
     resilient: bool = False,
     executor: Optional[str] = None,
+    spawn_slots: Optional[int] = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -166,6 +167,14 @@ def run_spmd(
     the fabric — e.g. user compute that never returns — trips the join
     timeout instead, and :class:`SpmdHangError` reports the stuck ranks
     with their current trace spans.
+
+    ``spawn_slots`` reserves capacity for ranks joining the running world
+    via :meth:`Communicator.spawn` (elastic grow).  The thread executor
+    grows its fabric in place and ignores the value; the process executor
+    pre-provisions that many extra queue slots so forked joiners have
+    endpoints (``DDR_SPAWN_SLOTS`` sets the default).  A spawned rank has
+    no slot in the returned result list: a clean return retires it, a
+    failure aborts the run and is reported like any rank failure.
     """
     if nprocs < 1:
         raise CommunicatorError(f"need at least one rank, got {nprocs}")
@@ -184,6 +193,7 @@ def run_spmd(
             deadlock_timeout=deadlock_timeout,
             join_timeout=join_timeout,
             resilient=resilient,
+            spawn_slots=spawn_slots,
             **kwargs,
         )
 
@@ -191,6 +201,7 @@ def run_spmd(
         join_timeout = deadlock_timeout * 1.5 + 5.0
     comms = world_communicators(nprocs, deadlock_timeout)
     fabric = comms[0].fabric
+    fabric.resilient = resilient
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
@@ -252,6 +263,9 @@ def run_spmd(
         # the thread executor); live views in stuck daemons stay mapped.
         fabric.close_shm()
 
+    # Failures raised by spawned ranks have no result-list slot; fold them
+    # in so a grow-side crash surfaces exactly like an original rank's.
+    failures.update(fabric.spawn_failures)
     if failures:
         first_rank = min(failures)
         raise RankFailure(first_rank, failures[first_rank]) from failures[first_rank]

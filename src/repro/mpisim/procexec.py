@@ -46,9 +46,12 @@ children inherit ``fn``/closures/module state, so every existing
 arguments must be picklable.
 
 Known semantic differences from the thread executor (see DESIGN.md):
-``fabric.shared`` (the cross-rank blackboard the resilience layer's buddy
-checkpoint store lives on) is process-local here, and fault-plan op
-counters restart per child (deterministic per rank either way).
+``fabric.shared`` (the cross-rank blackboard) is process-local here —
+mitigated for the resilience layer by ``blackboard_prefix``, which makes
+``shared_store`` hand out the ``/dev/shm``-backed
+:class:`~repro.resilience.shmstore.ShmBuddyStore` whose deposits outlive
+the depositing process — and fault-plan op counters restart per child
+(deterministic per rank either way).
 """
 
 from __future__ import annotations
@@ -65,7 +68,7 @@ from typing import Any, Callable, Hashable, Optional, Sequence
 from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER, SpanRecord
 from .comm import DEFAULT_DEADLOCK_TIMEOUT, Communicator, Fabric, _Message
-from .errors import ProcessFailedError, RankCrashError
+from .errors import AbortError, CommunicatorError, ProcessFailedError, RankCrashError
 from .shm import sweep_prefix
 
 __all__ = ["ProcessFabric", "run_spmd_processes"]
@@ -101,13 +104,14 @@ class _ProcCfg:
     deadlock_timeout: float
     resilient: bool
     shm_prefix: str
-    queues: list  # one inbox Queue per world rank
+    queues: list  # one inbox Queue per world rank (original + spawn reserve)
     result_queue: Any
     abort_event: Any
     abort_text: Any  # ctypes char array: repr of the aborting exception
     done_event: Any
     trace_enabled: bool
     trace_epoch: float
+    spawn_slots: int = 0  # reserve queue slots for Communicator.spawn joiners
     plan: Any = None  # FaultPlan, or None
     policy: Any = None  # ReliabilityPolicy, or None
 
@@ -135,10 +139,16 @@ class ProcessFabric(Fabric):
     supports_zerocopy = False  # live buffer refs cannot leave this process
 
     def __init__(self, cfg: _ProcCfg, my_world: int) -> None:
-        super().__init__(cfg.nprocs, cfg.deadlock_timeout)
+        # Size the local tables for every provisioned slot (original ranks
+        # plus the spawn reserve) so envelopes from late joiners always
+        # have a condition variable to land on.
+        super().__init__(cfg.nprocs + cfg.spawn_slots, cfg.deadlock_timeout)
+        self._next_world = cfg.nprocs  # reserve slots are claimed, not grown
+        self.resilient = cfg.resilient
         self.cfg = cfg
         self.my_world = my_world
         self.shm_prefix = f"{cfg.shm_prefix}r{my_world}"
+        self.blackboard_prefix = f"{cfg.shm_prefix}bb"
         self._drain_stop = threading.Event()
         self._drain_thread = threading.Thread(
             target=self._drain, name=f"spmd-drain-{my_world}", daemon=True
@@ -229,6 +239,83 @@ class ProcessFabric(Fabric):
         # This process has exactly one reader; GC the local copy right away.
         with self._state_lock:
             self._agreements.pop(key, None)
+
+    # -- dynamic world growth (Communicator.spawn) ---------------------------
+
+    def claim_world_slots(self, count: int) -> list[int]:
+        """Claim ``count`` of the reserve queue slots provisioned at launch.
+
+        Unlike the thread fabric this cannot grow in place: a forked joiner
+        needs an inbox queue that existed before any fork, so capacity is
+        fixed by ``run_spmd(..., spawn_slots=k)``.
+        """
+        with self._state_lock:
+            start = self._next_world
+            if start + count > len(self.cfg.queues):
+                free = len(self.cfg.queues) - start
+                raise CommunicatorError(
+                    f"cannot spawn {count} rank(s): {free} reserve slot(s) "
+                    f"left on the process executor — launch with "
+                    f"run_spmd(..., spawn_slots=...) or DDR_SPAWN_SLOTS"
+                )
+            self._next_world = start + count
+            return list(range(start, start + count))
+
+    def note_world_slots(self, worlds: Sequence[int]) -> None:
+        if not worlds:
+            return
+        with self._state_lock:
+            self._next_world = max(self._next_world, max(worlds) + 1)
+
+    def launch_rank(
+        self,
+        world_rank: int,
+        comm_id: Hashable,
+        world_ranks: Sequence[int],
+        rank: int,
+        lineage: Sequence[Hashable],
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        """Fork a new OS-process rank into the running world (spawn root).
+
+        Requires the ``fork`` start method: the joiner must inherit this
+        run's queues, events, and ``fn``'s closure state.
+        """
+        if start_method() != "fork":
+            raise CommunicatorError(
+                "Communicator.spawn on the process executor requires the "
+                "fork start method (DDR_MP_START=fork); joiners inherit the "
+                "run's queues and closures"
+            )
+        ctx = mp.get_context("fork")
+        # SPMD children are daemonic so a dying driver reaps them, but a
+        # daemonic process may not fork children of its own.  Lift the flag
+        # around the fork — the joiner is governed by the run's done_event
+        # protocol (and the parent's /dev/shm sweep) instead.
+        proc_state = mp.current_process()._config
+        was_daemon = proc_state.get("daemon", False)
+        proc_state["daemon"] = False
+        try:
+            proc = ctx.Process(
+                target=_spawned_child_main,
+                args=(
+                    self.cfg,
+                    world_rank,
+                    comm_id,
+                    tuple(world_ranks),
+                    rank,
+                    tuple(lineage),
+                    fn,
+                    args,
+                    kwargs,
+                ),
+                name=f"spmd-spawn-{world_rank}",
+            )
+            proc.start()
+        finally:
+            proc_state["daemon"] = was_daemon
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +413,65 @@ def _child_main(
             pass
 
 
+def _spawned_child_main(
+    cfg: _ProcCfg,
+    world_rank: int,
+    comm_id: Hashable,
+    world_ranks: tuple,
+    rank: int,
+    lineage: tuple,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+) -> None:
+    """Entry point of a rank forked into a *running* world by ``spawn``.
+
+    Mirrors ``_child_main`` with two differences: the communicator is the
+    merged spawn communicator (not COMM_WORLD), and no result envelope is
+    shipped — spawned ranks have no slot in the driver's result list, so a
+    clean return retires the rank in the liveness table and a failure
+    aborts the run (resilient ``RankCrashError`` aside), exactly like the
+    thread fabric's ``launch_rank``.
+    """
+    from . import shm as shm_mod
+
+    shm_mod.forget_foreign()
+    TRACER.reset_for_child(cfg.trace_epoch, cfg.trace_enabled)
+    TRACER.set_thread_rank(world_rank)
+    if cfg.plan is not None:
+        FAULTS.install(cfg.plan, cfg.policy)
+    else:
+        FAULTS.clear()
+
+    fabric = ProcessFabric(cfg, world_rank)
+    fabric.note_world_slots(world_ranks)  # slot allocator in lockstep with root
+    comm = Communicator(fabric, comm_id, world_ranks, rank, lineage=lineage)
+    try:
+        fn(comm, *args, **kwargs)
+    except AbortError:
+        pass
+    except RankCrashError as exc:
+        if cfg.resilient:
+            fabric.mark_dead(world_rank)
+        else:
+            fabric.abort(exc)
+    except BaseException as exc:  # noqa: BLE001 - must surface anything
+        if fabric.aborted is None and not cfg.abort_event.is_set():
+            fabric.abort(exc)
+    else:
+        fabric.mark_retired(world_rank)
+    # Same shutdown discipline as _child_main: hold shm segments until the
+    # parent has collected every original rank's result.
+    cfg.done_event.wait(timeout=cfg.deadlock_timeout * 2 + 10)
+    fabric.stop_drain()
+    fabric.close_shm()
+    for q in [*cfg.queues, cfg.result_queue]:
+        try:
+            q.cancel_join_thread()
+        except Exception:
+            pass
+
+
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
@@ -338,17 +484,28 @@ def run_spmd_processes(
     deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
     join_timeout: Optional[float] = None,
     resilient: bool = False,
+    spawn_slots: Optional[int] = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Process-executor twin of ``run_spmd``; same contract, real processes.
 
     Called through ``run_spmd(..., executor="process")`` — see there for
     the full semantics (result ordering, ``RankFailure``, ``resilient``).
+    ``spawn_slots`` pre-provisions inbox queues for ranks that may join
+    the running world via ``Communicator.spawn`` (default from
+    ``DDR_SPAWN_SLOTS``, else 0) — forked joiners need endpoints that
+    existed before any fork.
     """
     from .executor import RankFailure, SpmdHangError, _stuck_detail
 
     if join_timeout is None:
         join_timeout = deadlock_timeout * 1.5 + 5.0
+    if spawn_slots is None:
+        try:
+            spawn_slots = int(os.environ.get("DDR_SPAWN_SLOTS", "0") or 0)
+        except ValueError:
+            spawn_slots = 0
+    spawn_slots = max(0, spawn_slots)
     ctx = mp.get_context(start_method())
 
     # One shared resource tracker for the whole process tree: started
@@ -366,7 +523,8 @@ def run_spmd_processes(
         deadlock_timeout=deadlock_timeout,
         resilient=resilient,
         shm_prefix=_next_run_prefix(),
-        queues=[ctx.Queue() for _ in range(nprocs)],
+        queues=[ctx.Queue() for _ in range(nprocs + spawn_slots)],
+        spawn_slots=spawn_slots,
         result_queue=ctx.Queue(),
         abort_event=ctx.Event(),
         abort_text=ctx.Array("c", 2048),
@@ -494,6 +652,15 @@ def run_spmd_processes(
     if failures:
         first_rank = min(failures)
         raise RankFailure(first_rank, failures[first_rank]) from failures[first_rank]
+    if cfg.abort_event.is_set() and any(
+        env.kind == "aborted" for env in envelopes.values()
+    ):
+        # Every original rank reported a *secondary* abort and nobody owned
+        # the primary failure: it originated in a spawned rank, which has
+        # no result slot.  Surface it like any rank failure.
+        text = cfg.abort_text.value.decode("utf-8", "replace")
+        exc = ProcessFailedError(text or "a spawned rank failed")
+        raise RankFailure(-1, exc) from exc
     return results
 
 

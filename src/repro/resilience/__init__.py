@@ -5,16 +5,20 @@ Layers (see DESIGN.md "Resilience"):
 * ``repro.mpisim`` supplies the primitives — communicator revocation,
   fault-aware agreement, and ``Comm.shrink()``;
 * this package supplies the data plane — :class:`CheckpointPolicy` /
-  :class:`BuddyStore` replication and :class:`ResilientRedistributor`,
+  :class:`BuddyStore` replication (shared-memory backed on the process
+  executor via :class:`ShmBuddyStore`) and :class:`ResilientRedistributor`,
   which revokes, agrees, shrinks, adopts lost chunks from checkpoints and
-  replays rolled-back epochs when a peer dies mid-exchange;
+  replays rolled-back epochs when a peer dies mid-exchange — and, through
+  the same ``Redistributor.retarget`` path, voluntary elastic resizing
+  (``ResilientRedistributor.resize``);
 * ``repro.intransit`` builds pipeline reconfiguration on top
-  (``PipelineConfig.on_rank_loss``).
+  (``PipelineConfig.on_rank_loss`` / ``on_load``).
 """
 
 from .checkpoint import BuddyStore, CheckpointPolicy, shared_store
 from .errors import DataLossError, ReconfigurationError
 from .redistributor import RESILIENCE_STATS, ResilientRedistributor
+from .shmstore import ShmBuddyStore
 
 __all__ = [
     "BuddyStore",
@@ -23,5 +27,6 @@ __all__ = [
     "RESILIENCE_STATS",
     "ReconfigurationError",
     "ResilientRedistributor",
+    "ShmBuddyStore",
     "shared_store",
 ]

@@ -162,11 +162,26 @@ class BuddyStore:
             self._deposits.clear()
 
 
-def shared_store(fabric: Fabric, key: str = _STORE_KEY) -> BuddyStore:
-    """The fabric-wide :class:`BuddyStore`, created on first use."""
+def shared_store(fabric: Fabric, key: str = _STORE_KEY):
+    """The fabric-wide buddy store for ``key``, created on first use.
+
+    On the thread executor ``Fabric.shared`` is genuinely fabric-wide, so a
+    plain in-memory :class:`BuddyStore` works.  On the process executor the
+    fabric is per-rank; when it advertises a ``blackboard_prefix`` the store
+    is a :class:`~repro.resilience.shmstore.ShmBuddyStore` over named
+    shared-memory segments instead, so deposits are visible to (and survive
+    for) every rank process.  Both expose the same interface.
+    """
     with fabric.shared_lock:
         store = fabric.shared.get(key)
         if store is None:
-            store = BuddyStore()
+            prefix = getattr(fabric, "blackboard_prefix", None)
+            if prefix:
+                from .shmstore import ShmBuddyStore
+
+                tag = "".join(c for c in key if c.isalnum())[:16]
+                store = ShmBuddyStore(f"{prefix}{tag}")
+            else:
+                store = BuddyStore()
             fabric.shared[key] = store
         return store

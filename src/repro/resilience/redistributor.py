@@ -27,6 +27,15 @@ one (the owner crashed before depositing the current generation) is a
 ``stale_boxes`` so callers can classify the result as degraded rather than
 bitwise-correct.
 
+Crash recovery is one instance of a more general operation: *resizing* the
+live world.  :meth:`ResilientRedistributor.resize` exposes the voluntary
+form — grow onto spawned ranks or shrink onto a prefix, migrating data via
+the same components-aware DDR exchange (``Redistributor.resize``) — and
+crash recovery is the involuntary form (the new world is the survivor set,
+the migration source is the checkpoint store).  Both funnel through
+``_resize_world`` + ``Redistributor.retarget``, so there is exactly one
+mapping-rebuild lifecycle however the world changes shape.
+
 Epoch discipline: every successful exchange ends with a barrier on the
 current communicator, which bounds cross-rank epoch skew to one and lets
 ``CheckpointPolicy.retain == 2`` cover any replay.
@@ -38,7 +47,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.api import Redistributor
+from ..core.api import Redistributor, ResizeResult
 from ..core.box import Box
 from ..faults.injector import FaultStats
 from ..mpisim.comm import Communicator
@@ -136,15 +145,22 @@ class ResilientRedistributor:
             raise
 
     def _collective_setup(self, validate: bool) -> None:
-        self._red = Redistributor(
-            self.comm,
-            self.ndims,
-            self.dtype,
-            backend=self._backend,
-            components=self._components,
-            transport=self._transport,
-            reliability=self._reliability,
-        )
+        if self._red is None:
+            self._red = Redistributor(
+                self.comm,
+                self.ndims,
+                self.dtype,
+                backend=self._backend,
+                components=self._components,
+                transport=self._transport,
+                reliability=self._reliability,
+            )
+        else:
+            # The shared reconfiguration primitive: crash recovery and
+            # voluntary resize both funnel through Redistributor.retarget,
+            # so there is one mapping-rebuild path however the communicator
+            # changed shape (shrink after a crash, spawn-grow, or split).
+            self._red.retarget(self.comm)
         decl = (
             [(box.offset, box.dims) for box in self.own_boxes],
             (self.need_box.offset, self.need_box.dims) if self.need_box else None,
@@ -222,6 +238,119 @@ class ResilientRedistributor:
             dead = self.comm.fabric.dead_ranks()
             return any(w in dead for w in self.comm.world_ranks)
         return False
+
+    # -- voluntary resize ----------------------------------------------------
+
+    @classmethod
+    def from_resize(
+        cls,
+        result: ResizeResult,
+        *,
+        policy: Optional[CheckpointPolicy] = None,
+        store: Optional[Any] = None,
+        max_recoveries: int = 2,
+    ) -> "ResilientRedistributor":
+        """Wrap a :class:`ResizeResult`'s redistributor in a resilient façade.
+
+        Used on the joining side of a grow (inside the spawn worker) and by
+        callers that started from a plain :class:`Redistributor`.  The
+        returned instance adopts the already-retargeted inner redistributor
+        instead of building a fresh one; like any post-resize redistributor
+        it is unmapped until the caller's next collective :meth:`setup`.
+        """
+        red = result.redistributor
+        if red is None or result.comm is None:
+            raise ValueError("from_resize() needs a member ResizeResult")
+        rr = cls(
+            result.comm,
+            red.descriptor.ndims,
+            red.descriptor.dtype,
+            backend=red.backend,
+            components=red.descriptor.components,
+            transport=red.transport,
+            reliability=red.reliability,
+            policy=policy,
+            store=store,
+            max_recoveries=max_recoveries,
+        )
+        rr._red = red
+        return rr
+
+    def resize(
+        self,
+        new_n: int,
+        own_buffers: Any,
+        layout: Any,
+        *,
+        worker: Optional[Any] = None,
+        worker_args: Tuple[Any, ...] = (),
+        validate: bool = True,
+    ) -> ResizeResult:
+        """Voluntarily reshape the live world to ``new_n`` ranks.
+
+        The symmetric twin of crash recovery: delegates the membership
+        change and data migration to :meth:`Redistributor.resize` (spawn +
+        DDR exchange for a grow, split + exchange for a shrink), then
+        installs the new communicator through the same ``_resize_world``
+        path recovery uses.  ``own_buffers`` may cover a prefix of
+        ``own_boxes``; adopted boxes the caller does not supply are filled
+        from the newest checkpoints, exactly as in :meth:`gather_need`.
+
+        For a grow, ``worker`` runs on each spawned rank as
+        ``worker(resilient, result, *worker_args)`` where ``resilient`` is
+        a :class:`ResilientRedistributor` already aligned to the members'
+        epoch counter (required: replay agreement takes the minimum pending
+        epoch across ranks, so a joiner at epoch 0 would roll every
+        survivor back to the beginning).
+
+        Returns the member-side :class:`ResizeResult`; non-members (ranks
+        dropped by a shrink) get ``result.member == False`` and this façade
+        becomes unusable until a fresh :meth:`setup` on a live world.
+        After a member resize, call :meth:`setup` collectively to declare
+        the new generation's own/need boxes.
+        """
+        if self._red is None:
+            raise RuntimeError("setup() must be called before resize()")
+        bufs = self._normalize_buffers(own_buffers)
+        if len(bufs) < len(self.own_boxes):
+            # Cover adopted (or simply unsupplied) boxes from checkpoints.
+            bufs = self._epoch_buffers(self._epoch, self._epoch, bufs)
+
+        epoch = self._epoch
+        policy = self.policy
+        max_recoveries = self.max_recoveries
+        user_worker = worker
+
+        def _joiner(result: ResizeResult, *wargs: Any) -> Any:
+            rr = ResilientRedistributor.from_resize(
+                result, policy=policy, max_recoveries=max_recoveries
+            )
+            rr._epoch = epoch  # align replay agreement with the members
+            return user_worker(rr, result, *wargs)
+
+        result = self._red.resize(
+            new_n,
+            bufs,
+            layout,
+            worker=_joiner if user_worker is not None else None,
+            worker_args=worker_args,
+            validate=validate,
+        )
+        RESILIENCE_STATS.incr("voluntary_resizes")
+        self._owns_by_world = {}
+        self._needs_by_world = {}
+        self.adopted_boxes = []
+        self.stale_boxes = []
+        self.need_box = None
+        if result.member:
+            self._resize_world(result.comm)
+            self.own_boxes = [result.own] if result.own is not None else []
+        else:
+            # Dropped by the shrink: release the inner redistributor so any
+            # further use fails fast with the setup-required error.
+            self._red = None
+            self.own_boxes = []
+        return result
 
     # -- checkpointing -------------------------------------------------------
 
@@ -304,9 +433,29 @@ class ResilientRedistributor:
             )
             dead = frozenset(agreed["dead"])
             old_members = self.comm.world_ranks
-            self.comm = self.comm.shrink(dead=dead)
-            self._adopt(dead, old_members)
+            self._resize_world(
+                self.comm.shrink(dead=dead), dead=dead, old_members=old_members
+            )
         return int(agreed["restart"])
+
+    def _resize_world(
+        self,
+        new_comm: Communicator,
+        dead: frozenset = frozenset(),
+        old_members: Tuple[int, ...] = (),
+    ) -> None:
+        """Install a reshaped communicator — the shared half of every resize.
+
+        Crash recovery arrives with the shrunken survivor communicator and
+        the agreed dead set (dead ranks' chunks are adopted from the
+        checkpoint store); voluntary :meth:`resize` arrives with a grown or
+        split communicator and no dead ranks.  Either way the inner
+        redistributor is retargeted at the next collective setup, so both
+        paths share one mapping-rebuild lifecycle.
+        """
+        self.comm = new_comm
+        if dead:
+            self._adopt(dead, tuple(old_members))
 
     def _adopt(self, dead: frozenset, old_members: Tuple[int, ...]) -> None:
         """Reassign dead ranks' boxes to survivors, all ranks in lockstep.

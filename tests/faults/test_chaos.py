@@ -60,6 +60,29 @@ class TestCrashMode:
         assert all(isinstance(run.stats, dict) for run in report.runs)
 
 
+class TestResizeMode:
+    def test_resize_sweep_is_bitwise_or_typed(self):
+        report = run_chaos(seed=0, runs=6, ops=80, resizes=True)
+        assert report.passed
+        workloads = {run.workload for run in report.runs}
+        assert "resize" in workloads
+        assert "pipeline-resize" in workloads
+        # No crashes are injected, so nothing should *need* recovery.
+        assert all(
+            run.outcome in ("ok", "typed-error") for run in report.runs
+        )
+
+    def test_resize_sweep_is_reproducible(self):
+        a = run_chaos(seed=7, runs=3, ops=60, resizes=True)
+        b = run_chaos(seed=7, runs=3, ops=60, resizes=True)
+        assert [r.outcome for r in a.runs] == [r.outcome for r in b.runs]
+        assert [r.injected for r in a.runs] == [r.injected for r in b.runs]
+
+    def test_modes_are_exclusive(self):
+        with pytest.raises(ValueError):
+            run_chaos(crashes=True, resizes=True)
+
+
 class TestToDict:
     def test_report_round_trips_to_json(self, tmp_path):
         import json
@@ -92,6 +115,12 @@ class TestReport:
 class TestCli:
     def test_chaos_subcommand_exit_zero(self, capsys):
         code = main(["chaos", "--runs", "3", "--ops", "40", "--nprocs", "2",
+                     "--quiet"])
+        assert code == 0
+        assert "chaos: 3 runs" in capsys.readouterr().out
+
+    def test_chaos_resizes_flag(self, capsys):
+        code = main(["chaos", "--runs", "3", "--ops", "60", "--resizes",
                      "--quiet"])
         assert code == 0
         assert "chaos: 3 runs" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""``Communicator.spawn``: growing a running world (MPI_Comm_spawn + merge).
+
+Spawn is the primitive under ``Redistributor.resize`` grows; these tests
+pin its contract directly: collective call, dense rank append, shared
+lineage (the merged communicator runs ordinary collectives), and repeated
+growth.  Spawned ranks' return values are discarded by the driver, so
+every assertion about them travels through union collectives.  CI repeats
+this module under ``DDR_EXECUTOR=process``, where spawned ranks are
+forked into reserve queue slots (``spawn_slots``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpisim.errors import CommunicatorError
+from tests.conftest import spmd
+
+
+def _child(comm, marker):
+    comm.allgather((comm.rank, "child", marker))
+    return None  # discarded: spawned ranks have no driver result slot
+
+
+def _parent(comm, count, marker):
+    union = comm.spawn(count, _child, marker)
+    gathered = union.allgather((union.rank, "parent", marker))
+    return {
+        "rank": union.rank,
+        "size": union.size,
+        "world_ranks": tuple(union.world_ranks),
+        "gathered": tuple(gathered),
+    }
+
+
+def test_spawn_merges_and_appends_densely():
+    results = spmd(3, _parent, 2, "m", spawn_slots=2)
+    assert all(r["size"] == 5 for r in results)
+    # Existing members keep their rank order; spawned ranks are appended.
+    assert [r["rank"] for r in results] == [0, 1, 2]
+    roles = [role for _, role, _ in results[0]["gathered"]]
+    assert roles == ["parent"] * 3 + ["child"] * 2
+    assert [rank for rank, _, _ in results[0]["gathered"]] == list(range(5))
+    # All members agree on the merged world.
+    assert len({r["world_ranks"] for r in results}) == 1
+    assert len(results[0]["world_ranks"]) == 5
+
+
+def _first_child(comm, marker):
+    # A spawned rank is a full member: it joins the next spawn collective.
+    union = comm.spawn(1, _child, marker)
+    union.allgather((union.rank, "first-child", marker))
+    return None
+
+
+def _double_parent(comm, marker):
+    union1 = comm.spawn(1, _first_child, marker)
+    union2 = union1.spawn(1, _child, marker)
+    gathered = union2.allgather((union2.rank, "parent", marker))
+    return {"size": union2.size, "n": len(gathered)}
+
+
+def test_spawn_twice_keeps_growing():
+    results = spmd(2, _double_parent, "g", spawn_slots=2)
+    assert all(r["size"] == 4 and r["n"] == 4 for r in results)
+
+
+def _bad_count(comm):
+    try:
+        comm.spawn(0, _child, "x")
+    except CommunicatorError:
+        return "typed"
+    return "no error"
+
+
+def test_spawn_count_validation():
+    assert spmd(2, _bad_count) == ["typed", "typed"]
+
+
+def _bcast_from_spawned(comm, marker):
+    union = comm.spawn(1, _spawned_root_sender, marker)
+    value = union.bcast(None, root=union.size - 1)
+    return value
+
+
+def _spawned_root_sender(comm, marker):
+    # The freshly spawned rank is the highest rank; broadcast from it.
+    comm.bcast((marker, comm.rank), root=comm.size - 1)
+    return None
+
+
+def test_collectives_root_at_spawned_rank():
+    results = spmd(3, _bcast_from_spawned, "payload", spawn_slots=1)
+    assert results == [("payload", 3)] * 3
+
+
+@pytest.mark.parametrize("count", [1, 3])
+def test_spawn_counts(count):
+    results = spmd(2, _parent, count, "c", spawn_slots=3)
+    assert all(r["size"] == 2 + count for r in results)

@@ -1,0 +1,145 @@
+"""Autoscaler policy unit tests + the metrics-driven demo end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscale import AutoscalePolicy, Autoscaler, autoscale_demo
+from repro.obs import MetricsRegistry
+
+
+def _policy(**overrides) -> AutoscalePolicy:
+    defaults = dict(
+        min_ranks=2, max_ranks=8,
+        grow_exchange_s=1.0, shrink_exchange_s=0.1,
+        grow_queue_depth=4.0, cooldown_epochs=0, step=1, ewma_alpha=1.0,
+    )
+    defaults.update(overrides)
+    return AutoscalePolicy(**defaults)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(min_ranks=0),
+            dict(min_ranks=5, max_ranks=4),
+            dict(shrink_exchange_s=2.0, grow_exchange_s=1.0),
+            dict(grow_queue_depth=-1.0),
+            dict(cooldown_epochs=-1),
+            dict(step=0),
+            dict(ewma_alpha=0.0),
+            dict(ewma_alpha=1.5),
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            _policy(**bad)
+
+
+class TestRecommend:
+    def test_steady_between_watermarks(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=0.5, queue_depth=1.0)
+        assert scaler.recommend(4) == 4
+        assert scaler.decisions[-1].reason == "steady"
+
+    def test_grows_on_exchange_time(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=2.0, queue_depth=0.0)
+        assert scaler.recommend(4) == 5
+        assert scaler.decisions[-1].reason == "exchange_time"
+
+    def test_grows_on_queue_depth(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=0.5, queue_depth=9.0)
+        assert scaler.recommend(4) == 5
+        assert scaler.decisions[-1].reason == "queue_depth"
+
+    def test_shrinks_when_overprovisioned(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=0.01, queue_depth=0.0)
+        assert scaler.recommend(4) == 3
+        assert scaler.decisions[-1].reason == "overprovisioned"
+
+    def test_never_shrinks_with_backlog(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=0.01, queue_depth=9.0)
+        # queue is over the grow watermark: grow wins even though the
+        # exchange is cheap.
+        assert scaler.recommend(4) == 5
+
+    def test_clamps_to_limits(self):
+        scaler = Autoscaler(_policy())
+        scaler.observe(exchange_s=2.0)
+        assert scaler.recommend(8) == 8
+        assert scaler.decisions[-1].reason == "exchange_time_at_limit"
+        scaler.observe(exchange_s=0.01)
+        assert scaler.recommend(2) == 2
+
+    def test_step_size(self):
+        scaler = Autoscaler(_policy(step=3))
+        scaler.observe(exchange_s=2.0)
+        assert scaler.recommend(4) == 7
+
+    def test_cooldown_damps_flapping(self):
+        scaler = Autoscaler(_policy(cooldown_epochs=2))
+        scaler.observe(exchange_s=2.0)
+        scaler.observe(exchange_s=2.0)
+        assert scaler.recommend(4) == 5
+        scaler.record_resize(5)
+        scaler.observe(exchange_s=2.0)
+        assert scaler.recommend(5) == 5  # within cooldown
+        assert scaler.decisions[-1].reason == "cooldown"
+        scaler.observe(exchange_s=2.0)
+        assert scaler.recommend(5) == 6  # cooldown expired
+
+
+class TestEwma:
+    def test_smoothing(self):
+        scaler = Autoscaler(_policy(ewma_alpha=0.5))
+        scaler.observe(exchange_s=1.0)
+        scaler.observe(exchange_s=0.0)
+        assert scaler.exchange_ewma == pytest.approx(0.5)
+
+    def test_first_observation_seeds(self):
+        scaler = Autoscaler(_policy(ewma_alpha=0.1))
+        scaler.observe(queue_depth=7.0)
+        assert scaler.queue_ewma == pytest.approx(7.0)
+
+
+class TestObserveRegistry:
+    def test_reads_span_delta_and_gauge(self):
+        registry = MetricsRegistry()
+        scaler = Autoscaler(_policy(ewma_alpha=1.0))
+        registry.observe("phase.redistribute", 2.0, rank=0)
+        registry.counters["stream.queue_depth"] = 6.0
+        scaler.observe_registry(registry)
+        assert scaler.exchange_ewma == pytest.approx(2.0)
+        assert scaler.queue_ewma == pytest.approx(6.0)
+        # Next epoch: only the *delta* of the cumulative histogram counts.
+        registry.observe("phase.redistribute", 0.5, rank=0)
+        registry.counters["stream.queue_depth"] = 1.0
+        scaler.observe_registry(registry)
+        assert scaler.exchange_ewma == pytest.approx(0.5)
+        assert scaler.queue_ewma == pytest.approx(1.0)
+
+    def test_no_new_exchange_leaves_ewma(self):
+        registry = MetricsRegistry()
+        scaler = Autoscaler(_policy(ewma_alpha=1.0))
+        registry.observe("phase.redistribute", 2.0, rank=0)
+        scaler.observe_registry(registry)
+        scaler.observe_registry(registry)  # no new samples this epoch
+        assert scaler.exchange_ewma == pytest.approx(2.0)
+        assert scaler.epochs_observed == 2
+
+
+def test_demo_end_to_end():
+    """The full observe -> recommend -> bcast -> resize loop: grows from 2
+    toward the ceiling on the demand hump, drains back down, bitwise."""
+    report = autoscale_demo(side=36, epochs=10, start_ranks=2, max_ranks=4)
+    assert "resizes applied:" in report
+    assert "bitwise-correct" in report
+    resizes = int(report.rsplit("resizes applied: ", 1)[1].split(",")[0])
+    assert resizes >= 2  # at least one grow and one shrink
+    assert "final world size: 2" in report
