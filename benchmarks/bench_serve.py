@@ -1,0 +1,149 @@
+"""Serving-hub benchmark: one producer fanned out to 1000+ viewers.
+
+Measures the many-viewer contract end to end, in process (ViewerQueue
+consumers, no sockets — the transport is benchmarked separately by the
+edge tests): 1000 viewers spread over five distinct layouts must be fed
+from exactly five DDR mapping sets (mapping-cache hit rate > 95%), every
+viewer must converge to the final frame, and the served pixels must be
+bitwise identical to a direct single-consumer redistribution of the same
+slabs.  A second scenario churns through hundreds of distinct layouts to
+prove the mapping cache's byte footprint stays bounded by its LRU budget.
+
+Appends to ``benchmarks/BENCH_serve.json``; gate with::
+
+    python benchmarks/check_regression.py BENCH_serve.json \
+        benchmarks/BENCH_serve.json --field deliveries_per_s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Redistributor
+from repro.mpisim.executor import world_communicators
+from repro.serve import ConsumerLayout, FrameHub, SyntheticSource
+
+BENCH_RECORD = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+NX, NY, M = 64, 32, 4
+N_VIEWERS = 1000
+N_FRAMES = 25  # 5 layouts x 25 frames -> hit rate 1 - 1/25 = 96%
+
+LAYOUTS = [
+    ConsumerLayout.make(NX, NY),                                # full domain
+    ConsumerLayout.make(NX, NY, x=8, y=4, w=48, h=24),          # ROI crop
+    ConsumerLayout.make(NX, NY, mip=1),                         # subsampled
+    ConsumerLayout.make(NX, NY, x=16, y=8, w=32, h=16, parts=2),
+    ConsumerLayout.make(NX, NY, mip=2, parts=3),
+]
+
+
+def _record(name: str, fields: dict) -> None:
+    record = {}
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+    record[name] = dict(fields, timestamp=time.time())
+    BENCH_RECORD.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def test_thousand_viewer_fanout():
+    source = SyntheticSource(NX, NY, m=M)
+    hub = FrameHub(NX, NY, m=M, quality=75)
+    queues = [
+        hub.register(LAYOUTS[i % len(LAYOUTS)]) for i in range(N_VIEWERS)
+    ]
+
+    start = time.perf_counter()
+    for index, slabs in source.frames(N_FRAMES):
+        hub.publish(index, slabs)
+    elapsed = time.perf_counter() - start
+
+    stats = hub.stats()
+    cache = stats["mapping_cache"]
+    deliveries = stats["counters"]["serve.frames_delivered"]
+
+    # The serving contract, asserted before anything is recorded.
+    assert deliveries == N_VIEWERS * N_FRAMES
+    assert cache["entries"] == len(LAYOUTS)
+    assert cache["hit_rate"] > 0.95, cache
+    for queue in queues:
+        assert queue.last_index == N_FRAMES - 1  # latest-wins convergence
+
+    # Bitwise oracle: what the hub assembles for each layout equals a
+    # direct single-consumer redistribution of the same producer slabs.
+    final_slabs = source.slabs(N_FRAMES - 1)
+    comm = world_communicators(1)[0]
+    red = Redistributor(comm, ndims=2, dtype=np.float32)
+    for layout in LAYOUTS:
+        mapping = red.new_mapping(own=hub.producer_boxes, need=layout.roi)
+        direct = red.gather_need(final_slabs, mapping=mapping)
+        direct = direct[:: layout.step, :: layout.step]
+        np.testing.assert_array_equal(hub.view(layout, final_slabs), direct)
+
+    _record(
+        f"serve_fanout_{N_VIEWERS}v_{len(LAYOUTS)}layouts",
+        {
+            "viewers": N_VIEWERS,
+            "frames": N_FRAMES,
+            "layouts": len(LAYOUTS),
+            "seconds": elapsed,
+            "deliveries": deliveries,
+            "deliveries_per_s": deliveries / elapsed,
+            "publishes_per_s": N_FRAMES / elapsed,
+            "mapping_cache_hit_rate": cache["hit_rate"],
+            "mapping_cache_entries": cache["entries"],
+        },
+    )
+    hub.close()
+
+
+def test_layout_churn_stays_bounded():
+    """Hundreds of distinct layouts through a small cache: entries and the
+    per-mapping staging bytes must stay bounded by the LRU budget."""
+    max_layouts = 8
+    distinct = 200
+    source = SyntheticSource(NX, NY, m=M)
+    hub = FrameHub(NX, NY, m=M, max_layouts=max_layouts)
+    slabs = source.slabs(0)
+
+    start = time.perf_counter()
+    peak_bytes = 0
+    for i in range(distinct):
+        layout = ConsumerLayout.make(
+            NX, NY, x=i % 32, y=i % 16, w=16 + i % 8, h=8 + i % 4
+        )
+        hub.view(layout, slabs)
+        peak_bytes = max(peak_bytes, hub.mapping_cache.pool_bytes())
+    elapsed = time.perf_counter() - start
+
+    cache = hub.mapping_cache.stats()
+    assert cache["entries"] <= max_layouts
+    assert cache["evictions"] >= distinct - max_layouts
+    # Every cached mapping stages at most one ROI-sized float32 output.
+    roi_bytes = 24 * 12 * 4
+    assert peak_bytes <= max_layouts * roi_bytes, peak_bytes
+    assert cache["pool_bytes"] <= max_layouts * roi_bytes
+
+    _record(
+        f"serve_layout_churn_{distinct}x{max_layouts}",
+        {
+            "distinct_layouts": distinct,
+            "max_layouts": max_layouts,
+            "seconds": elapsed,
+            "layouts_per_s": distinct / elapsed,
+            "evictions": cache["evictions"],
+            "peak_pool_bytes": peak_bytes,
+            "bound_pool_bytes": max_layouts * roi_bytes,
+        },
+    )
+    hub.close()
+
+
+if __name__ == "__main__":
+    test_thousand_viewer_fanout()
+    test_layout_churn_stays_bounded()
+    print(BENCH_RECORD.read_text())

@@ -243,6 +243,96 @@ def _cmd_autoscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    from .serve import (
+        FrameHub,
+        LbmSource,
+        StreamEdge,
+        SyntheticSource,
+        run_viewers,
+    )
+
+    if args.source == "lbm":
+        source = LbmSource(args.nx, args.ny, m=args.m,
+                           steps_per_frame=args.steps_per_frame)
+    else:
+        source = SyntheticSource(args.nx, args.ny, m=args.m)
+    hub = FrameHub(args.nx, args.ny, m=args.m, quality=args.quality,
+                   backend=args.backend)
+    edge = StreamEdge(hub, host=args.host, port=args.port)
+    edge.serve_in_thread()
+    period = 1.0 / args.fps if args.fps > 0 else 0.0
+
+    if args.smoke_viewers:
+        final_frame = args.frames - 1
+        holder: dict = {}
+
+        def attach() -> None:
+            holder["reports"] = run_viewers(
+                edge.port, args.smoke_viewers, final_frame
+            )
+
+        thread = threading.Thread(target=attach, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while (hub.viewer_count() < args.smoke_viewers
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        connected = hub.viewer_count()
+        for index, slabs in source.frames(args.frames):
+            hub.publish(index, slabs)
+            if period:
+                time.sleep(period)
+        thread.join(timeout=90.0)
+        reports = holder.get("reports", [])
+        failures = [
+            r for r in reports if r.error or r.last_frame != final_frame
+        ]
+        for report in failures[:10]:
+            print(
+                f"FAIL viewer {report.viewer} ({report.transport} "
+                f"?{report.query}): last_frame={report.last_frame} "
+                f"{report.error}",
+                file=sys.stderr,
+            )
+        stats = hub.stats()
+        cache = stats["mapping_cache"]
+        print(
+            f"serve smoke: {len(reports) - len(failures)}/{len(reports)} "
+            f"viewers saw frame {final_frame} "
+            f"({connected} connected before publish)"
+        )
+        print(
+            f"  layouts cached {cache['entries']}, mapping-cache hit rate "
+            f"{cache['hit_rate']:.3f}, evictions {cache['evictions']}, "
+            f"pool bytes {cache['pool_bytes']}"
+        )
+        edge.shutdown()
+        hub.close()
+        return 0 if reports and not failures else 1
+
+    print(f"serving on http://{args.host}:{edge.port}/  (ctrl-C to stop)")
+    try:
+        for index, slabs in source.frames(args.frames):
+            hub.publish(index, slabs)
+            if period:
+                time.sleep(period)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        edge.shutdown()
+        hub.close()
+    stats = hub.stats()
+    print(
+        f"published {stats['frames_published']} frames to "
+        f"{stats['counters'].get('serve.viewers_connected', 0)} viewer(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -364,6 +454,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rank executor (default: DDR_EXECUTOR env, else "
                     "thread)")
     pa.set_defaults(fn=_cmd_autoscale)
+
+    ps = sub.add_parser(
+        "serve",
+        help="many-viewer streaming hub (HTTP/WebSocket MJPEG edge)",
+        description="Run a frame producer through the serving hub and "
+        "expose it over HTTP: / (browser page), /mjpeg (multipart "
+        "stream), /ws (WebSocket), /frame, /stats.  Every route accepts "
+        "x/y/w/h/mip/parts query parameters; each distinct layout gets "
+        "its own DDR mapping from a bounded LRU cache.  --smoke-viewers "
+        "N runs N synthetic WS+HTTP clients against the edge and exits "
+        "nonzero unless every one of them saw the final frame.",
+    )
+    ps.add_argument("--nx", type=int, default=128, help="field width")
+    ps.add_argument("--ny", type=int, default=64, help="field height")
+    ps.add_argument("--m", type=int, default=4,
+                    help="producer slab count (default 4)")
+    ps.add_argument("--frames", type=int, default=600,
+                    help="frames to publish before exiting (default 600)")
+    ps.add_argument("--fps", type=float, default=20.0,
+                    help="publish rate; 0 publishes as fast as possible")
+    ps.add_argument("--source", choices=("lbm", "synthetic"), default="lbm",
+                    help="frame producer (default lbm vorticity)")
+    ps.add_argument("--steps-per-frame", type=int, default=10,
+                    help="LBM steps between frames (default 10)")
+    ps.add_argument("--quality", type=int, default=80,
+                    help="JPEG quality (default 80)")
+    ps.add_argument("--backend", choices=("alltoallw", "p2p", "auto"),
+                    default=None, help="exchange engine (default auto)")
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8737,
+                    help="TCP port; 0 picks a free one (default 8737)")
+    ps.add_argument("--smoke-viewers", type=int, default=0, metavar="N",
+                    help="run N synthetic viewers and gate on delivery")
+    ps.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -26,6 +26,7 @@ from .engine import (
     default_backend,
     get_engine,
 )
+from .mapcache import MappingCache
 from .mapping import (
     LocalMapping,
     StaleMappingError,
@@ -75,6 +76,7 @@ __all__ = [
     "GlobalPlan",
     "Lane",
     "LocalMapping",
+    "MappingCache",
     "MappingValidationError",
     "P2PEngine",
     "RankPlan",

@@ -1,0 +1,114 @@
+"""A bounded LRU cache of DDR mappings keyed by consumer layout.
+
+The serving hub hands every consumer its own redistribution — but thousands
+of viewers share a handful of layouts (the same ROI at the same mip level),
+so the schedule for a layout should be built exactly once and reused.  This
+cache holds that producer-side state: canonical layout key -> the tuple of
+:class:`~repro.core.mapping.LocalMapping` handles that satisfy it.
+
+Boundedness is the point (mappings carry per-mapping ``BufferCache`` /
+``StagingPool`` state, so an unbounded cache grows without limit as layouts
+churn): the cache keeps at most ``max_entries`` layouts, evicting the least
+recently used and *invalidating* its mappings — which drops their cached
+buffers and staging arrays — so evicted layouts release their memory
+immediately instead of waiting for the garbage collector.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Sequence
+
+from .mapping import LocalMapping
+
+__all__ = ["MappingCache"]
+
+
+class MappingCache:
+    """LRU ``layout key -> tuple[LocalMapping, ...]`` with invalidating
+    eviction.  Not thread-safe: callers serialize access (the hub publishes
+    frames from one thread)."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[Hashable, tuple[LocalMapping, ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(
+        self,
+        key: Hashable,
+        build: Callable[[], Sequence[LocalMapping]],
+    ) -> tuple[LocalMapping, ...]:
+        """The cached mappings for ``key``, building (and caching) on miss.
+
+        ``build`` runs only on a miss and must return the mappings that
+        satisfy the layout; the result is kept until evicted.  A mapping
+        that was invalidated elsewhere (``StaleMappingError`` risk) is
+        treated as a miss and rebuilt.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and not any(m.stale for m in entry):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if entry is not None:
+            del self._entries[key]
+        self.misses += 1
+        entry = tuple(build())
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            _, victims = self._entries.popitem(last=False)
+            self.evictions += 1
+            for mapping in victims:
+                mapping.invalidate()
+        return entry
+
+    def drop(self, key: Hashable) -> bool:
+        """Invalidate and remove one layout; True if it was cached."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        for mapping in entry:
+            mapping.invalidate()
+        return True
+
+    def clear(self) -> None:
+        """Invalidate and remove every cached layout."""
+        for entry in self._entries.values():
+            for mapping in entry:
+                mapping.invalidate()
+        self._entries.clear()
+
+    def pool_bytes(self) -> int:
+        """Total staging-pool bytes held by the cached mappings — the
+        number the hub's bounded-memory assertions watch."""
+        return sum(
+            mapping.pool.current_bytes
+            for entry in self._entries.values()
+            for mapping in entry
+        )
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "pool_bytes": self.pool_bytes(),
+        }

@@ -403,7 +403,21 @@ def _resize_pipeline_config(
 
 
 def _pipeline_worker(comm: Communicator, config: PipelineConfig):
-    return run_pipeline(comm, config)
+    result = run_pipeline(comm, config)
+    # Degraded-mode leak check: abandoned-frame stragglers must be purged,
+    # not left to accumulate in the fabric's mailboxes.  The bound allows a
+    # straggler per (variable, sim rank) for a final in-flight frame or two
+    # (a message can land after the end-of-run sweep); unbounded growth
+    # over a long skip/stale run trips this immediately.
+    depth = comm.fabric.mailbox_depth(world_rank=comm.world_rank_of(comm.rank))
+    bound = 2 * max(1, len(config.variables)) * config.m
+    if depth > bound:
+        raise ChaosVerificationError(
+            f"mailbox leak: rank {comm.rank} still holds {depth} queued "
+            f"messages after a {config.frame_drop!r} pipeline run "
+            f"(bound {bound}); abandoned frames are not being purged"
+        )
+    return result
 
 
 def _pipeline_config(backend: str, frame_drop: str) -> PipelineConfig:

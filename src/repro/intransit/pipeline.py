@@ -10,6 +10,7 @@ quantifies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -232,6 +233,7 @@ class PipelineResult:
     frames_rendered: list = field(default_factory=list)
     frames_dropped: int = 0  # (frame, variable) pairs skipped (frame_drop="skip")
     frames_stale: int = 0  # (frame, variable) pairs rendered with stale data
+    slabs_purged: int = 0  # abandoned-frame stragglers drained from the mailbox
     recoveries: int = 0  # shrink-mode reconfigurations this rank survived
     ranks_lost: int = 0  # members removed across those reconfigurations
     resizes: int = 0  # voluntary on_load="resize" reconfigurations applied
@@ -451,6 +453,16 @@ def _run_analysis(
                         th, tw = tile_field_.shape
                         raw[r0 : r0 + th, c0 : c0 + tw] = tile_field_
                     write_raw(directory / f"frame_{frame:05d}.raw", raw)
+    if config.frame_drop != FRAME_DROP_FAIL:
+        # End-of-run straggler sweep: frames abandoned near the end of the
+        # run have no later receive call to purge them, so drain here.  The
+        # wait is bounded — a straggler whose send was dropped outright by
+        # the fault layer will never arrive and must not stall shutdown.
+        sweep_deadline = time.monotonic() + min(deadline_s, 1.0)
+        while receiver.abandoned_count() and time.monotonic() < sweep_deadline:
+            if receiver.purge_abandoned() == 0:
+                time.sleep(0.001)
+        result.slabs_purged = receiver.purged_slabs
     return result
 
 

@@ -111,28 +111,82 @@ class StreamSender:
 
 
 class StreamReceiver:
-    """Analysis-side endpoint: collects the slabs of one frame."""
+    """Analysis-side endpoint: collects the slabs of one frame.
+
+    Receive slabs are double-buffered per receiver: the steady-state hot
+    path allocates nothing (the BufferCache/StagingPool discipline of the
+    DDR core), and the slabs most recently *returned* to the caller — who
+    may hold references, e.g. the pipeline's ``frame_drop="stale"`` policy
+    — are never written by the next receive.  A returned slab set stays
+    valid until the second-next successful receive of the same variable.
+    """
 
     def __init__(self, world: Communicator, topology: StreamTopology, analysis_rank: int) -> None:
         self.world = world
         self.topology = topology
         self.analysis_rank = analysis_rank
         self.sources = topology.incoming_slabs(analysis_rank)
+        #: var_index -> [front slab set, back slab set]; receives land in
+        #: the back set and the sets flip only on full success.
+        self._slab_sets: dict[int, list[list[np.ndarray]]] = {}
+        self._front: dict[int, int] = {}
+        #: (source_rank, tag) pairs whose receive was abandoned on a
+        #: deadline; their straggler slabs are purged from the mailbox by
+        #: later calls (and by the pipeline's end-of-run sweep).
+        self._abandoned: dict[tuple[int, int], None] = {}
+        #: stragglers drained so far (observability + leak assertions)
+        self.purged_slabs = 0
 
     @property
     def owned_chunks(self) -> list[Box]:
         """The slabs this rank will own before redistribution (DDR input)."""
         return [slab for _, slab in self.sources]
 
+    def _back_slabs(self, var_index: int) -> list[np.ndarray]:
+        sets = self._slab_sets.get(var_index)
+        if sets is None:
+            sets = self._slab_sets[var_index] = [
+                [np.empty(slab.np_shape(), dtype=np.float32) for _, slab in self.sources]
+                for _ in range(2)
+            ]
+            self._front[var_index] = 0
+        return sets[1 - self._front[var_index]]
+
+    def _flip(self, var_index: int) -> None:
+        self._front[var_index] = 1 - self._front[var_index]
+
+    def purge_abandoned(self) -> int:
+        """Drain straggler slabs of previously abandoned frames.
+
+        Each abandoned receive is remembered by its unique (source, tag);
+        once the straggler shows up in the mailbox it is discarded — and
+        its transport resources released — keeping a long degraded run's
+        mailbox bounded.  Entries whose slab has not arrived yet (or whose
+        producer died) are retried on the next call.  Returns the number
+        of slabs drained this call.
+        """
+        drained = 0
+        for source, tag in list(self._abandoned):
+            purged = self.world.purge(source=source, tag=tag)
+            if purged:
+                del self._abandoned[(source, tag)]
+                drained += purged
+        self.purged_slabs += drained
+        return drained
+
+    def abandoned_count(self) -> int:
+        """Abandoned receives whose stragglers have not been drained yet."""
+        return len(self._abandoned)
+
     def recv_frame(self, frame_index: int, var_index: int = 0) -> list[np.ndarray]:
         """Receive every incoming slab of one frame, in chunk order."""
-        out = []
-        for sim_rank, slab in self.sources:
-            buffer = np.empty(slab.np_shape(), dtype=np.float32)
+        self.purge_abandoned()
+        out = self._back_slabs(var_index)
+        for buffer, (sim_rank, _) in zip(out, self.sources):
             self.world.Recv(
                 buffer, source=sim_rank, tag=frame_tag(frame_index, var_index)
             )
-            out.append(buffer)
+        self._flip(var_index)
         return out
 
     def try_recv_frame(
@@ -149,7 +203,10 @@ class StreamReceiver:
         safe because tags are unique per (frame, variable): a slab that
         straggles in later sits in the mailbox under its own tag and can
         never cross-match another frame's receive.  Senders are eager
-        (buffered at post time), so nobody blocks on the abandoned frame.
+        (buffered at post time), so nobody blocks on the abandoned frame —
+        and the straggler itself is recorded and drained by
+        :meth:`purge_abandoned` on a later call, so abandoned slabs cannot
+        accumulate in the mailbox over a long degraded run.
 
         A *crashed* producer is not a straggler: if a pending source rank
         is known dead, this raises :class:`ProcessFailedError` (and
@@ -157,13 +214,11 @@ class StreamReceiver:
         the deadline, so rank loss reaches the recovery machinery rather
         than masquerading as an ordinary slow frame.
         """
-        out = [
-            np.empty(slab.np_shape(), dtype=np.float32) for _, slab in self.sources
-        ]
+        self.purge_abandoned()
+        out = self._back_slabs(var_index)
+        tag = frame_tag(frame_index, var_index)
         requests = [
-            self.world.Irecv(
-                buffer, source=sim_rank, tag=frame_tag(frame_index, var_index)
-            )
+            self.world.Irecv(buffer, source=sim_rank, tag=tag)
             for buffer, (sim_rank, _) in zip(out, self.sources)
         ]
         deadline = time.monotonic() + deadline_s
@@ -190,8 +245,17 @@ class StreamReceiver:
             if not pending:
                 break
             if time.monotonic() >= deadline:
+                # Deliver what already arrived (releasing any transport
+                # resources its messages hold) and remember the rest so
+                # their stragglers get purged when they land.
+                for request, rank in zip(requests, (r for r, _ in self.sources)):
+                    if (request, rank) not in pending and request.test():
+                        request.wait()
+                for _, rank in pending:
+                    self._abandoned[(rank, tag)] = None
                 return None
             time.sleep(0.001)
         for request in requests:
             request.wait()
+        self._flip(var_index)
         return out

@@ -602,6 +602,28 @@ class Fabric:
                     )
                 cond.wait(timeout=min(0.25, remaining))
 
+    def mailbox_depth(
+        self,
+        world_rank: Optional[int] = None,
+        comm_id: Optional[Hashable] = None,
+    ) -> int:
+        """Number of queued (undelivered) messages, for leak assertions.
+
+        Counts across every mailbox by default; narrow with ``world_rank``
+        (one receiver) and/or ``comm_id`` (one communicator).  Each rank's
+        boxes are counted under that rank's own condition lock, so the
+        total is a consistent per-rank snapshot even while senders post.
+        """
+        total = 0
+        for (box_comm, box_rank), box in list(self._mailboxes.items()):
+            if world_rank is not None and box_rank != world_rank:
+                continue
+            if comm_id is not None and box_comm != comm_id:
+                continue
+            with self._conds[box_rank]:
+                total += len(box)
+        return total
+
 
 # ---------------------------------------------------------------------------
 # Communicator
@@ -725,6 +747,20 @@ def _receive_payload(buf: np.ndarray, datatype: Optional[Datatype], message: "_M
     if isinstance(message.payload, ShmTicket):
         return _receive_shm(buf, datatype, message.payload)
     return _payload_into(buf, datatype, message.payload)
+
+
+def _discard_payload(payload: Any) -> None:
+    """Drop a message without delivering it, releasing transport resources.
+
+    The purge counterpart of :func:`_receive_payload`: a rendezvous handle
+    must complete (or its sender blocks forever) and an shm ticket must be
+    marked drained (or its segment never returns to the pool).  Dense
+    payloads just fall to the garbage collector.
+    """
+    if isinstance(payload, _ZeroCopyHandle):
+        payload.complete()
+    elif isinstance(payload, ShmTicket):
+        _shm_attach(payload.name).mark_drained()
 
 
 class Communicator:
@@ -1217,6 +1253,28 @@ class Communicator:
 
         self.fabric.try_consume(self.comm_id, self._world_ranks[self._rank], peek)
         return probe["hit"]
+
+    def purge(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> int:
+        """Discard every queued message matching ``(source, tag)``.
+
+        The cleanup path for receives that were posted and then abandoned
+        (a timed-out frame under a drop policy): the straggler lands in the
+        mailbox under its unique tag and would otherwise sit there forever.
+        Transport resources are released — a rendezvous sender is unblocked,
+        an shm segment is returned to its pool — and the number of purged
+        messages is returned.  Only user-level (non-internal) messages are
+        eligible; collective traffic is never purged.
+        """
+        match = self._match(source, tag, internal=False)
+        purged = 0
+        while True:
+            found = self.fabric.try_consume(
+                self.comm_id, self._world_ranks[self._rank], match
+            )
+            if found is None:
+                return purged
+            _discard_payload(found.payload)
+            purged += 1
 
     # lowercase (object) p2p ---------------------------------------------------
 

@@ -160,6 +160,10 @@ class MetricsRegistry:
         if snapshot["allocations"]:
             self.incr(f"{prefix}allocations", snapshot["allocations"])
             self.incr(f"{prefix}bytes_allocated", snapshot["bytes_allocated"])
+        # Older snapshots (pre pool-eviction accounting) lack these keys.
+        if snapshot.get("evictions"):
+            self.incr(f"{prefix}pool_evictions", snapshot["evictions"])
+            self.incr(f"{prefix}bytes_evicted", snapshot.get("bytes_evicted", 0))
 
     def absorb_faults(self, stats, prefix: str = "fault.") -> None:
         """Fold a fault-layer stats snapshot into plain counters.

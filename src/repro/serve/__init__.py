@@ -1,0 +1,28 @@
+"""Many-viewer in-transit serving: DDR fan-out behind a streaming edge.
+
+The ROADMAP's "millions of users" axis: one producer's frames served to N
+concurrent consumers, each with its own layout satisfied by independent
+DDR mappings over the same producer slabs (layout-keyed, LRU-bounded
+mapping cache), delivered as MJPEG over HTTP multipart or WebSocket with
+per-viewer backpressure and latest-wins coalescing.
+"""
+
+from .edge import StreamEdge
+from .hub import FrameHub, ServedFrame, ViewerDisconnectedError, ViewerQueue
+from .layout import ConsumerLayout
+from .producer import LbmSource, SyntheticSource
+from .smoke import SMOKE_LAYOUT_QUERIES, ViewerReport, run_viewers
+
+__all__ = [
+    "ConsumerLayout",
+    "FrameHub",
+    "LbmSource",
+    "SMOKE_LAYOUT_QUERIES",
+    "ServedFrame",
+    "StreamEdge",
+    "SyntheticSource",
+    "ViewerDisconnectedError",
+    "ViewerQueue",
+    "ViewerReport",
+    "run_viewers",
+]

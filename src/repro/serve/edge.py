@@ -1,0 +1,367 @@
+"""The web-facing streaming edge: HTTP + WebSocket MJPEG over asyncio.
+
+One :class:`StreamEdge` serves a :class:`~repro.serve.hub.FrameHub` to
+browsers and synthetic load clients alike, with no dependencies beyond the
+standard library:
+
+* ``GET /``            — an HTML page embedding the MJPEG stream;
+* ``GET /stats``       — hub statistics as JSON;
+* ``GET /frame``       — one JPEG (waits for the next published frame);
+* ``GET /mjpeg``       — ``multipart/x-mixed-replace`` MJPEG, one part per
+                         frame with ``X-Frame-Index`` headers;
+* ``GET /ws``          — RFC 6455 upgrade; each binary message is a 4-byte
+                         big-endian frame index followed by the JPEG.
+
+Every route accepts the layout query parameters ``x``/``y``/``w``/``h``/
+``mip``/``parts`` (see :class:`~repro.serve.layout.ConsumerLayout`).
+Backpressure is per viewer: the hub's coalescing queue keeps the newest
+frames, the transport ``drain()`` paces the socket, and a disconnect —
+typed as :class:`~repro.serve.hub.ViewerDisconnectedError` — unregisters
+the viewer without disturbing anyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import threading
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from ..obs.tracer import TRACER
+from .hub import FrameHub, ViewerDisconnectedError, ViewerQueue
+from .layout import ConsumerLayout
+from .ws import OP_CLOSE, OP_PING, OP_PONG, accept_key, decode_frame, encode_frame
+
+__all__ = ["StreamEdge"]
+
+MJPEG_BOUNDARY = "ddrframe"
+
+INDEX_HTML = """<!doctype html>
+<html><head><title>repro serve</title></head>
+<body style="background:#111;color:#eee;font-family:monospace">
+<h3>Automated Dynamic Data Redistribution &mdash; live stream</h3>
+<img src="/mjpeg{query}" alt="stream">
+<p><a href="/stats" style="color:#8cf">/stats</a></p>
+</body></html>
+"""
+
+_DISCONNECTS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+    asyncio.IncompleteReadError,
+    ViewerDisconnectedError,
+)
+
+
+class _AsyncViewer:
+    """Bridges a hub ViewerQueue (threaded) onto the edge's event loop."""
+
+    def __init__(self, hub: FrameHub, layout: ConsumerLayout) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._event = asyncio.Event()
+        self.queue: ViewerQueue = hub.register(layout, on_frame=self._wake)
+        self._hub = hub
+
+    def _wake(self) -> None:
+        # Called from the producer thread after every push/close.
+        self._loop.call_soon_threadsafe(self._event.set)
+
+    async def next_frame(self, timeout: Optional[float] = None):
+        """The next buffered frame; None on timeout; typed error on close."""
+        while True:
+            self._event.clear()
+            frame = self.queue.try_pop()  # raises when closed and drained
+            if frame is not None:
+                return frame
+            try:
+                await asyncio.wait_for(self._event.wait(), timeout)
+            except asyncio.TimeoutError:
+                return None
+
+    def release(self) -> None:
+        self._hub.unregister(self.queue)
+
+
+class StreamEdge:
+    """Asyncio server fronting one hub.  ``start()`` binds (port 0 picks a
+    free port, published back on :attr:`port`); ``serve_in_thread()`` runs
+    the whole edge on a background event loop for synchronous drivers."""
+
+    def __init__(
+        self,
+        hub: FrameHub,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        frame_timeout_s: float = 30.0,
+    ) -> None:
+        self.hub = hub
+        self.host = host
+        self.port = port
+        self.frame_timeout_s = frame_timeout_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def serve_in_thread(self) -> None:
+        """Run the edge on a daemon thread with its own event loop."""
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.start())
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(self.stop())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+            loop.close()
+
+        self._thread = threading.Thread(target=run, name="serve-edge", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=10.0):
+            raise RuntimeError("edge server failed to start within 10s")
+
+    def shutdown(self) -> None:
+        """Stop the background thread started by :meth:`serve_in_thread`."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                await self._plain(writer, 405, "only GET is served here\n")
+                return
+            target = urlsplit(parts[1])
+            params = dict(parse_qsl(target.query))
+            headers = await self._read_headers(reader)
+            path = target.path
+            if path == "/":
+                query = f"?{target.query}" if target.query else ""
+                await self._plain(
+                    writer, 200, INDEX_HTML.format(query=query), "text/html"
+                )
+            elif path == "/stats":
+                await self._plain(
+                    writer, 200, json.dumps(self.hub.stats(), indent=2) + "\n",
+                    "application/json",
+                )
+            elif path == "/frame":
+                await self._serve_single(writer, params)
+            elif path == "/mjpeg":
+                await self._serve_mjpeg(reader, writer, params)
+            elif path == "/ws":
+                await self._serve_ws(reader, writer, headers, params)
+            else:
+                await self._plain(writer, 404, f"no route {path}\n")
+        except _DISCONNECTS:
+            self.hub.metrics.incr("serve.transport_disconnects")
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            # Cancellation only reaches here on edge shutdown; finishing the
+            # task normally keeps the stdlib stream callback quiet.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _plain(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str = "text/plain",
+    ) -> None:
+        text = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
+                400: "Bad Request"}.get(status, "OK")
+        payload = body.encode()
+        writer.write(
+            f"HTTP/1.1 {status} {text}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+
+    def _layout(self, params: dict[str, str]) -> ConsumerLayout:
+        return ConsumerLayout.from_query(params, self.hub.nx, self.hub.ny)
+
+    async def _serve_single(
+        self, writer: asyncio.StreamWriter, params: dict[str, str]
+    ) -> None:
+        viewer = _AsyncViewer(self.hub, self._layout(params))
+        try:
+            frame = await viewer.next_frame(timeout=self.frame_timeout_s)
+            if frame is None:
+                await self._plain(writer, 404, "no frame published in time\n")
+                return
+            writer.write(
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: image/jpeg\r\n"
+                f"Content-Length: {len(frame.jpeg)}\r\n"
+                f"X-Frame-Index: {frame.index}\r\n"
+                "Connection: close\r\n\r\n".encode() + frame.jpeg
+            )
+            await writer.drain()
+        finally:
+            viewer.release()
+
+    async def _serve_mjpeg(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        params: dict[str, str],
+    ) -> None:
+        viewer = _AsyncViewer(self.hub, self._layout(params))
+
+        async def watch_eof() -> None:
+            # A write to a half-closed socket only fails on the *second*
+            # attempt; reading EOF notices the client leaving immediately.
+            try:
+                while await reader.read(65536):
+                    pass
+            except (_DISCONNECTS + (asyncio.CancelledError,)):
+                pass
+            finally:
+                viewer.queue.close()
+
+        eof_task = asyncio.ensure_future(watch_eof())
+        span = TRACER.span(
+            "serve.viewer", transport="mjpeg", viewer=viewer.queue.viewer_id,
+            layout=viewer.queue.layout.describe(),
+        )
+        try:
+            with span:
+                writer.write(
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: multipart/x-mixed-replace; "
+                    f"boundary={MJPEG_BOUNDARY}\r\n"
+                    "Connection: close\r\n\r\n".encode()
+                )
+                await writer.drain()
+                while True:
+                    frame = await viewer.next_frame(timeout=self.frame_timeout_s)
+                    if frame is None:
+                        break  # idle too long; drop the stream
+                    writer.write(
+                        f"--{MJPEG_BOUNDARY}\r\n"
+                        "Content-Type: image/jpeg\r\n"
+                        f"Content-Length: {len(frame.jpeg)}\r\n"
+                        f"X-Frame-Index: {frame.index}\r\n\r\n".encode()
+                        + frame.jpeg + b"\r\n"
+                    )
+                    await writer.drain()  # per-viewer backpressure
+        except _DISCONNECTS:
+            self.hub.metrics.incr("serve.viewer_disconnects")
+        finally:
+            eof_task.cancel()
+            viewer.release()
+
+    async def _serve_ws(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        params: dict[str, str],
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if key is None or "websocket" not in headers.get("upgrade", "").lower():
+            await self._plain(writer, 400, "expected a WebSocket upgrade\n")
+            return
+        writer.write(
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {accept_key(key)}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        viewer = _AsyncViewer(self.hub, self._layout(params))
+        closed = asyncio.Event()
+
+        async def read_client() -> None:
+            # Drain client frames: answer pings, honour close, ignore rest.
+            buffer = b""
+            try:
+                while not closed.is_set():
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    while (parsed := decode_frame(buffer)) is not None:
+                        opcode, payload, consumed = parsed
+                        buffer = buffer[consumed:]
+                        if opcode == OP_CLOSE:
+                            return
+                        if opcode == OP_PING:
+                            writer.write(encode_frame(payload, OP_PONG))
+                            await writer.drain()
+            except (_DISCONNECTS + (ValueError,)):
+                pass
+            finally:
+                closed.set()
+                viewer.queue.close()
+
+        reader_task = asyncio.ensure_future(read_client())
+        span = TRACER.span(
+            "serve.viewer", transport="ws", viewer=viewer.queue.viewer_id,
+            layout=viewer.queue.layout.describe(),
+        )
+        try:
+            with span:
+                while not closed.is_set():
+                    frame = await viewer.next_frame(timeout=self.frame_timeout_s)
+                    if frame is None:
+                        break
+                    writer.write(
+                        encode_frame(struct.pack(">I", frame.index) + frame.jpeg)
+                    )
+                    await writer.drain()
+        except _DISCONNECTS:
+            self.hub.metrics.incr("serve.viewer_disconnects")
+        finally:
+            closed.set()
+            reader_task.cancel()
+            viewer.release()

@@ -1,0 +1,174 @@
+"""Synthetic viewers for smoke tests and CI: raw-socket HTTP/WS clients.
+
+Each viewer opens a real TCP connection to a running
+:class:`~repro.serve.edge.StreamEdge`, consumes frames over its transport
+(MJPEG multipart or WebSocket binary messages), and reports the frame
+indices it saw.  The driver asserts the serving contract: under coalescing
+a slow viewer may skip intermediates, but every viewer must see the final
+frame.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .edge import MJPEG_BOUNDARY
+from .ws import OP_BINARY, OP_CLOSE, decode_frame, encode_frame
+
+__all__ = ["ViewerReport", "run_viewers", "SMOKE_LAYOUT_QUERIES"]
+
+#: Mixed layouts the smoke viewers cycle through (>= 3 distinct, exercising
+#: full-domain, ROI-cropped, mip-subsampled, and multi-part consumers).
+SMOKE_LAYOUT_QUERIES = (
+    "",  # full domain
+    "x=4&y=2&w=24&h=12",  # ROI crop
+    "mip=1",  # subsampled
+    "x=8&y=4&w=16&h=8&parts=2",  # cropped 2-rank consumer
+    "mip=2&parts=3",  # subsampled 3-rank consumer
+)
+
+
+@dataclass
+class ViewerReport:
+    viewer: int
+    transport: str
+    query: str
+    frames_seen: list[int] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def last_frame(self) -> int:
+        return self.frames_seen[-1] if self.frames_seen else -1
+
+
+def _recv_until(sock: socket.socket, marker: bytes, limit: int = 1 << 20) -> bytes:
+    data = b""
+    while marker not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("server closed during header read")
+        data += chunk
+        if len(data) > limit:
+            raise ValueError("header larger than limit")
+    return data
+
+
+def _http_viewer(
+    report: ViewerReport, port: int, final_frame: int, timeout_s: float
+) -> None:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout_s) as sock:
+        sock.sendall(
+            f"GET /mjpeg?{report.query} HTTP/1.1\r\n"
+            "Host: localhost\r\nConnection: keep-alive\r\n\r\n".encode()
+        )
+        buffer = _recv_until(sock, b"\r\n\r\n")
+        status, _, buffer = buffer.partition(b"\r\n\r\n")
+        if b" 200 " not in status.split(b"\r\n")[0]:
+            raise ConnectionError(f"bad status: {status.splitlines()[0]!r}")
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            # One multipart part: boundary, part headers, then the body.
+            marker = f"--{MJPEG_BOUNDARY}\r\n".encode()
+            while marker not in buffer or b"\r\n\r\n" not in buffer.split(marker, 1)[1]:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+            _, _, rest = buffer.partition(marker)
+            head, _, rest = rest.partition(b"\r\n\r\n")
+            headers = dict(
+                line.split(": ", 1)
+                for line in head.decode("latin-1").split("\r\n")
+                if ": " in line
+            )
+            index = int(headers["X-Frame-Index"])
+            length = int(headers["Content-Length"])
+            while len(rest) < length:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                rest += chunk
+            body, buffer = rest[:length], rest[length:]
+            assert body[:2] == b"\xff\xd8", "part body is not a JPEG"
+            report.frames_seen.append(index)
+            if index >= final_frame:
+                return
+
+
+def _ws_viewer(
+    report: ViewerReport, port: int, final_frame: int, timeout_s: float
+) -> None:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout_s) as sock:
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        sock.sendall(
+            f"GET /ws?{report.query} HTTP/1.1\r\n"
+            "Host: localhost\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n".encode()
+        )
+        response = _recv_until(sock, b"\r\n\r\n")
+        head, _, buffer = response.partition(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n")[0]:
+            raise ConnectionError(f"upgrade refused: {head.splitlines()[0]!r}")
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            parsed = decode_frame(buffer)
+            if parsed is None:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                continue
+            opcode, payload, consumed = parsed
+            buffer = buffer[consumed:]
+            if opcode == OP_CLOSE:
+                return
+            if opcode != OP_BINARY or len(payload) < 4:
+                continue
+            (index,) = struct.unpack_from(">I", payload)
+            assert payload[4:6] == b"\xff\xd8", "message body is not a JPEG"
+            report.frames_seen.append(index)
+            if index >= final_frame:
+                sock.sendall(encode_frame(b"", OP_CLOSE, mask=True))
+                return
+
+
+def run_viewers(
+    port: int,
+    count: int,
+    final_frame: int,
+    layout_queries: tuple[str, ...] = SMOKE_LAYOUT_QUERIES,
+    timeout_s: float = 30.0,
+) -> list[ViewerReport]:
+    """Attach ``count`` concurrent viewers (alternating WS and MJPEG over
+    the layout mix) and run each until it sees ``final_frame``.  Returns
+    one report per viewer; callers assert on ``last_frame``/``error``."""
+    reports = [
+        ViewerReport(
+            viewer=i,
+            transport="ws" if i % 2 else "http",
+            query=layout_queries[i % len(layout_queries)],
+        )
+        for i in range(count)
+    ]
+
+    def run(report: ViewerReport) -> None:
+        try:
+            worker = _ws_viewer if report.transport == "ws" else _http_viewer
+            worker(report, port, final_frame, timeout_s)
+        except Exception as exc:  # report, don't kill the thread pool
+            report.error = f"{type(exc).__name__}: {exc}"
+
+    threads = [
+        threading.Thread(target=run, args=(r,), daemon=True) for r in reports
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s + 10.0)
+    return reports

@@ -1,0 +1,102 @@
+"""Minimal RFC 6455 WebSocket framing — enough for MJPEG push streams.
+
+No external dependency: the edge server and the synthetic smoke viewers
+both speak through these helpers.  Server frames are unmasked, client
+frames are masked, as the RFC requires; fragmentation is not produced and
+not accepted (every served frame fits one message).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Optional
+
+__all__ = [
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "accept_key",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+def accept_key(client_key: str) -> str:
+    """Sec-WebSocket-Accept for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((client_key.strip() + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_BINARY, mask: bool = False) -> bytes:
+    """One complete (FIN) frame around ``payload``."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if not mask:
+        return bytes(header) + payload
+    key = os.urandom(4)
+    header += key
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + masked
+
+
+def decode_frame(buffer: bytes) -> Optional[tuple[int, bytes, int]]:
+    """Parse one frame from the head of ``buffer``.
+
+    Returns ``(opcode, payload, bytes_consumed)``, or ``None`` when the
+    buffer does not yet hold a complete frame.  Raises ``ValueError`` on
+    fragmented messages (FIN=0), which this edge never produces or accepts.
+    """
+    if len(buffer) < 2:
+        return None
+    b0, b1 = buffer[0], buffer[1]
+    if not b0 & 0x80:
+        raise ValueError("fragmented WebSocket messages are not supported")
+    opcode = b0 & 0x0F
+    masked = bool(b1 & 0x80)
+    length = b1 & 0x7F
+    offset = 2
+    if length == 126:
+        if len(buffer) < offset + 2:
+            return None
+        (length,) = struct.unpack_from(">H", buffer, offset)
+        offset += 2
+    elif length == 127:
+        if len(buffer) < offset + 8:
+            return None
+        (length,) = struct.unpack_from(">Q", buffer, offset)
+        offset += 8
+    key = b""
+    if masked:
+        if len(buffer) < offset + 4:
+            return None
+        key = buffer[offset : offset + 4]
+        offset += 4
+    if len(buffer) < offset + length:
+        return None
+    payload = buffer[offset : offset + length]
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload, offset + length

@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+
 import numpy as np
 
 from .timing import TRANSFER_COUNTERS
 
+#: Default per-pool byte budget.  Overridable through ``DDR_POOL_BUDGET_MB``;
+#: large enough that a single steady-state workload never evicts, small
+#: enough that a pool cannot eat the host when mappings proliferate.
+DEFAULT_POOL_BUDGET_BYTES = int(
+    float(os.environ.get("DDR_POOL_BUDGET_MB", "512")) * 1024 * 1024
+)
+
 
 class StagingPool:
-    """A reuse pool for staging/output arrays keyed by (shape, dtype).
+    """A bounded LRU reuse pool for staging/output arrays keyed by
+    (shape, dtype).
 
     Repeated redistribution of same-layout data (the paper's dynamic-data
     use case — one call per simulation frame) needs the same scratch arrays
@@ -17,10 +28,22 @@ class StagingPool:
     only valid until the same key is taken again — which matches the
     per-frame lifecycle of every caller.  Not thread-safe: each SPMD rank
     owns its own pool.
+
+    The pool holds at most ``max_bytes`` of cached arrays: when an insert
+    pushes it over budget the least-recently-taken entries are dropped
+    (never the entry just inserted, so a single oversized array still
+    round-trips).  Evictions are counted on the pool itself and, when
+    enabled, in :data:`~repro.utils.timing.TRANSFER_COUNTERS` so the
+    metrics layer can watch cache pressure as mappings proliferate.
     """
 
-    def __init__(self) -> None:
-        self._arrays: dict[tuple[tuple[int, ...], np.dtype], np.ndarray] = {}
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self._arrays: OrderedDict[
+            tuple[tuple[int, ...], np.dtype], np.ndarray
+        ] = OrderedDict()
+        self.max_bytes = DEFAULT_POOL_BUDGET_BYTES if max_bytes is None else int(max_bytes)
+        self.current_bytes = 0
+        self.evictions = 0
 
     def take(self, shape, dtype) -> np.ndarray:
         """An uninitialised array of the requested geometry (cached)."""
@@ -33,6 +56,10 @@ class StagingPool:
             if TRANSFER_COUNTERS.enabled:
                 TRANSFER_COUNTERS.count_alloc(array.nbytes)
             self._arrays[key] = array
+            self.current_bytes += array.nbytes
+            self._evict_over_budget(keep=key)
+        else:
+            self._arrays.move_to_end(key)
         return array
 
     def take_filled(self, shape, dtype, fill) -> np.ndarray:
@@ -40,8 +67,22 @@ class StagingPool:
         array.fill(fill)
         return array
 
+    def _evict_over_budget(self, keep) -> None:
+        while self.current_bytes > self.max_bytes and len(self._arrays) > 1:
+            oldest = next(iter(self._arrays))
+            if oldest == keep:
+                # The just-inserted array must survive this call; everything
+                # older is already gone, so the budget simply can't be met.
+                break
+            victim = self._arrays.pop(oldest)
+            self.current_bytes -= victim.nbytes
+            self.evictions += 1
+            if TRANSFER_COUNTERS.enabled:
+                TRANSFER_COUNTERS.count_eviction(victim.nbytes)
+
     def clear(self) -> None:
         self._arrays.clear()
+        self.current_bytes = 0
 
 
 def dtype_size(dtype: np.dtype | type | str) -> int:

@@ -103,6 +103,8 @@ class TransferCounters:
         self.bytes_copied: dict[str, int] = {kind: 0 for kind in self.KINDS}
         self.allocations = 0
         self.bytes_allocated = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
 
     def count_copy(self, kind: str, nbytes: int) -> None:
         if kind not in self.copies:
@@ -117,6 +119,11 @@ class TransferCounters:
         with self._lock:
             self.allocations += 1
             self.bytes_allocated += int(nbytes)
+
+    def count_eviction(self, nbytes: int) -> None:
+        with self._lock:
+            self.evictions += 1
+            self.bytes_evicted += int(nbytes)
 
     @property
     def total_copies(self) -> int:
@@ -134,6 +141,8 @@ class TransferCounters:
                 "bytes_copied": dict(self.bytes_copied),
                 "allocations": self.allocations,
                 "bytes_allocated": self.bytes_allocated,
+                "evictions": self.evictions,
+                "bytes_evicted": self.bytes_evicted,
             }
 
 
@@ -169,6 +178,8 @@ def counting_transfers() -> Iterator[TransferCounters]:
             "bytes_copied": dict(counters.bytes_copied),
             "allocations": counters.allocations,
             "bytes_allocated": counters.bytes_allocated,
+            "evictions": counters.evictions,
+            "bytes_evicted": counters.bytes_evicted,
         }
         counters.reset()  # does not take the lock; safe to call while held
         counters.enabled = True
@@ -182,3 +193,5 @@ def counting_transfers() -> Iterator[TransferCounters]:
                 counters.bytes_copied[kind] += prior["bytes_copied"][kind]
             counters.allocations += prior["allocations"]
             counters.bytes_allocated += prior["bytes_allocated"]
+            counters.evictions += prior["evictions"]
+            counters.bytes_evicted += prior["bytes_evicted"]

@@ -1,0 +1,124 @@
+"""MappingCache: layout-keyed LRU of LocalMapping handles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Box, MappingCache, Redistributor, StaleMappingError
+from repro.mpisim import world_communicators
+
+
+def _hub_redistributor():
+    comm = world_communicators(1)[0]
+    return Redistributor(comm, ndims=2, dtype=np.float32)
+
+
+OWN = [Box((0, 0), (4, 8)), Box((4, 0), (4, 8))]
+
+
+def _build(red, need):
+    return lambda: [red.new_mapping(own=OWN, need=need)]
+
+
+class TestLruSemantics:
+    def test_build_once_then_hit(self):
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=4)
+        calls = {"n": 0}
+
+        def build():
+            calls["n"] += 1
+            return [red.new_mapping(own=OWN, need=Box((0, 0), (2, 2)))]
+
+        first = cache.get("roi-a", build)
+        again = cache.get("roi-a", build)
+        assert first is again
+        assert calls["n"] == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_lru_and_invalidates(self):
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=2)
+        a = cache.get("a", _build(red, Box((0, 0), (2, 2))))
+        cache.get("b", _build(red, Box((0, 0), (4, 4))))
+        cache.get("a", lambda: pytest.fail("'a' must still be cached"))
+        cache.get("c", _build(red, Box((2, 2), (2, 2))))  # evicts b (LRU)
+        assert cache.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+        # 'a' survived usable (the hit refreshed its recency)...
+        out = np.empty((2, 2), dtype=np.float32)
+        bufs = [np.ones(b.np_shape(), dtype=np.float32) for b in OWN]
+        red.exchange(bufs, out, mapping=a[0])
+        assert np.all(out == 1.0)
+        # ...and the evicted entry's mappings were invalidated, so 'b' is a
+        # genuine miss that rebuilds (evicting 'a', now the LRU entry).
+        b_rebuilt = {"n": 0}
+
+        def rebuild_b():
+            b_rebuilt["n"] += 1
+            return [red.new_mapping(own=OWN, need=Box((0, 0), (4, 4)))]
+
+        cache.get("b", rebuild_b)
+        assert b_rebuilt["n"] == 1
+        assert cache.evictions == 2 and "a" not in cache
+        assert a[0].stale
+
+    def test_stale_entry_treated_as_miss(self):
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=4)
+        entry = cache.get("a", _build(red, Box((0, 0), (2, 2))))
+        entry[0].invalidate()  # e.g. a resize/retarget elsewhere
+        rebuilt = cache.get("a", _build(red, Box((0, 0), (2, 2))))
+        assert rebuilt is not entry
+        assert not rebuilt[0].stale
+
+    def test_drop_and_clear_invalidate(self):
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=4)
+        a = cache.get("a", _build(red, Box((0, 0), (2, 2))))
+        b = cache.get("b", _build(red, Box((0, 0), (4, 4))))
+        assert cache.drop("a") is True
+        assert cache.drop("a") is False
+        assert a[0].stale
+        cache.clear()
+        assert b[0].stale
+        assert len(cache) == 0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            MappingCache(max_entries=0)
+
+
+class TestBoundedBytes:
+    def test_pool_bytes_bounded_under_layout_churn(self):
+        """Churning through many distinct layouts keeps total staging-pool
+        bytes bounded by what max_entries live layouts can hold."""
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=4)
+        bufs = [np.ones(b.np_shape(), dtype=np.float32) for b in OWN]
+        peak = 0
+        for i in range(40):
+            need = Box((0, 0), (2 + (i % 7), 2 + (i % 5)))
+            (mapping,) = cache.get(
+                ("roi", i), lambda need=need: [red.new_mapping(own=OWN, need=need)]
+            )
+            red.gather_need(bufs, mapping=mapping, reuse_out=True)
+            peak = max(peak, cache.pool_bytes())
+        assert len(cache) == 4
+        assert cache.evictions == 36
+        # 4 live layouts x one float32 need array (<= 8x6) apiece.
+        assert cache.pool_bytes() <= 4 * 8 * 6 * 4
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["pool_bytes"] == cache.pool_bytes()
+
+    def test_evicted_mapping_use_raises_typed_error(self):
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=1)
+        (a,) = cache.get("a", _build(red, Box((0, 0), (2, 2))))
+        cache.get("b", _build(red, Box((0, 0), (4, 4))))  # evicts a
+        bufs = [np.ones(b.np_shape(), dtype=np.float32) for b in OWN]
+        with pytest.raises(StaleMappingError):
+            red.gather_need(bufs, mapping=a)

@@ -57,6 +57,51 @@ class TestStagingPool:
         a[:] = 0
         assert pool.take_filled((3,), np.int32, 7).tolist() == [7, 7, 7]
 
+    def test_byte_budget_evicts_least_recently_taken(self):
+        pool = StagingPool(max_bytes=2 * 64)  # room for two float64 (8,) arrays
+        a = pool.take((8,), np.float64)
+        b = pool.take((8,), np.float32)  # 32 bytes, still under budget
+        a2 = pool.take((8,), np.float64)  # refresh a: now b is oldest
+        assert a2 is a
+        pool.take((16,), np.float32)  # 64 bytes -> over budget, evict b
+        assert pool.evictions == 1
+        assert pool.take((8,), np.float64) is a  # a survived (recently used)
+        assert pool.take((8,), np.float32) is not b  # b was evicted
+        assert pool.current_bytes <= pool.max_bytes
+
+    def test_oversized_request_never_evicts_itself(self):
+        pool = StagingPool(max_bytes=16)
+        big = pool.take((100,), np.float64)  # 800 bytes > budget
+        assert pool.take((100,), np.float64) is big  # still cached
+        assert pool.current_bytes == 800
+
+    def test_eviction_counted_in_transfer_counters_and_metrics(self):
+        from repro.obs import MetricsRegistry
+        from repro.utils.timing import counting_transfers
+
+        pool = StagingPool(max_bytes=64)
+        with counting_transfers() as counters:
+            pool.take((8,), np.float64)
+            pool.take((4,), np.float64)  # evicts the (8,) array
+        assert pool.evictions == 1
+        snap = counters.snapshot()
+        assert snap["evictions"] == 1
+        assert snap["bytes_evicted"] == 64
+        registry = MetricsRegistry()
+        registry.absorb_transfers(snap)
+        assert registry.counters["transfer.pool_evictions"] == 1
+        assert registry.counters["transfer.bytes_evicted"] == 64
+        # Pre-eviction snapshots (no such keys) still absorb cleanly.
+        registry.absorb_transfers(
+            {"copies": {}, "bytes_copied": {}, "allocations": 0, "bytes_allocated": 0}
+        )
+
+    def test_clear_resets_accounting(self):
+        pool = StagingPool(max_bytes=1024)
+        pool.take((8,), np.float64)
+        pool.clear()
+        assert pool.current_bytes == 0
+
 
 def _setup_redistributor(comm, **kwargs):
     r = comm.rank

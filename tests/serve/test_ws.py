@@ -1,0 +1,49 @@
+"""RFC 6455 framing helpers: handshake key, encode/decode round-trips."""
+
+import pytest
+
+from repro.serve.ws import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_TEXT,
+    accept_key,
+    decode_frame,
+    encode_frame,
+)
+
+
+def test_accept_key_matches_rfc_example():
+    # RFC 6455 section 1.3's worked handshake.
+    assert accept_key("dGhlIHNhbXBsZSBub25jZQ==") == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 127, 65535, 65536, 70000])
+@pytest.mark.parametrize("mask", [False, True])
+def test_encode_decode_round_trip(size, mask):
+    payload = bytes(i % 251 for i in range(size))
+    wire = encode_frame(payload, OP_BINARY, mask=mask)
+    opcode, decoded, consumed = decode_frame(wire + b"tail")
+    assert opcode == OP_BINARY
+    assert decoded == payload
+    assert consumed == len(wire)
+
+
+def test_decode_incomplete_returns_none():
+    wire = encode_frame(b"x" * 200, OP_TEXT)
+    for cut in (0, 1, 2, 3, len(wire) - 1):
+        assert decode_frame(wire[:cut]) is None
+
+
+def test_two_frames_back_to_back():
+    wire = encode_frame(b"one") + encode_frame(b"", OP_CLOSE)
+    opcode, payload, consumed = decode_frame(wire)
+    assert (opcode, payload) == (OP_BINARY, b"one")
+    opcode, payload, _ = decode_frame(wire[consumed:])
+    assert (opcode, payload) == (OP_CLOSE, b"")
+
+
+def test_fragmented_frame_rejected():
+    wire = bytearray(encode_frame(b"frag"))
+    wire[0] &= 0x7F  # clear FIN
+    with pytest.raises(ValueError, match="fragmented"):
+        decode_frame(bytes(wire))

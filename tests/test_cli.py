@@ -59,6 +59,29 @@ class TestExecution:
         assert "Table IV" in out
 
 
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.source == "lbm"
+        assert args.port == 8737
+        assert args.smoke_viewers == 0
+
+    def test_serve_smoke_gates_on_delivery(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--nx", "32", "--ny", "16", "--m", "2",
+                    "--frames", "4", "--fps", "0", "--source", "synthetic",
+                    "--port", "0", "--smoke-viewers", "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "10/10 viewers saw frame 3" in out
+        assert "mapping-cache hit rate" in out
+
+
 class TestTrace:
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace", "intransit"])
