@@ -1,0 +1,168 @@
+"""Overload benchmark: goodput under 2x admission load.
+
+Offers twice the hub's admission capacity: the admitted population must
+keep receiving frames (goodput >= 80% of what full delivery to every
+admitted viewer would be) while every over-capacity attempt is refused
+*typed* — :class:`~repro.serve.overload.LayoutSaturatedError` (429) when
+one layout is flooded, :class:`~repro.serve.overload.HubSaturatedError`
+(503) when the hub-wide cap is hit, both carrying a ``Retry-After`` hint.
+Consumers time every frame from its encode stamp
+(``ServedFrame.published_at``) to the moment their ``pop()`` returns, so
+the record carries a real p99 publish-to-delivery latency, and the
+overload ladder must not shed anyone — prompt consumers are not overload.
+
+Appends to ``benchmarks/BENCH_overload.json``; gate with::
+
+    python benchmarks/check_regression.py BENCH_overload.json \
+        benchmarks/BENCH_overload.json --field goodput_ratio
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import (
+    AdmissionError,
+    ConsumerLayout,
+    FrameHub,
+    HubSaturatedError,
+    LayoutSaturatedError,
+    OverloadController,
+    SyntheticSource,
+)
+
+BENCH_RECORD = Path(__file__).resolve().parent / "BENCH_overload.json"
+
+NX, NY, M = 64, 32, 4
+MAX_VIEWERS = 24  # hub-wide admission cap
+MAX_PER_LAYOUT = 8  # per-layout admission cap
+N_FRAMES = 40
+PUBLISH_PERIOD_S = 0.005  # paced producer: ~200 fps offered
+
+LAYOUTS = [
+    ConsumerLayout.make(NX, NY),
+    ConsumerLayout.make(NX, NY, x=8, y=4, w=48, h=24),
+    ConsumerLayout.make(NX, NY, mip=1),
+    ConsumerLayout.make(NX, NY, x=16, y=8, w=32, h=16, parts=2),
+]
+
+
+def _record(name: str, fields: dict) -> None:
+    record = {}
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+    record[name] = dict(fields, timestamp=time.time())
+    BENCH_RECORD.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def _consume(queue, final_frame: int, latencies: list) -> None:
+    """Pop until the final frame (or close); time publish-to-delivery."""
+    try:
+        while True:
+            frame = queue.pop(timeout=10.0)
+            if frame is None:
+                return
+            latencies.append(time.perf_counter() - frame.published_at)
+            if frame.index >= final_frame:
+                return
+    except Exception:  # ViewerDisconnectedError et al. — end of stream
+        return
+
+
+def test_goodput_under_double_admission_load():
+    source = SyntheticSource(NX, NY, m=M)
+    controller = OverloadController()
+    hub = FrameHub(
+        NX, NY, m=M, quality=75,
+        max_viewers=MAX_VIEWERS,
+        max_viewers_per_layout=MAX_PER_LAYOUT,
+        overload=controller,
+        retry_after_s=2.0,
+    )
+
+    offered = 2 * MAX_VIEWERS
+    admitted, rejected = [], []
+    # Phase 1: flood one layout past its per-layout cap (typed 429s) ...
+    for _ in range(MAX_PER_LAYOUT + 4):
+        try:
+            admitted.append(hub.register(LAYOUTS[0]))
+        except AdmissionError as exc:
+            rejected.append(exc)
+    # ... phase 2: spread the rest round-robin until the hub cap (503s).
+    for i in range(offered - (MAX_PER_LAYOUT + 4)):
+        try:
+            admitted.append(hub.register(LAYOUTS[1 + i % (len(LAYOUTS) - 1)]))
+        except AdmissionError as exc:
+            rejected.append(exc)
+
+    # The admission contract: exactly the capacity admitted, every refusal
+    # typed with the right status and a positive Retry-After hint.
+    assert len(admitted) == MAX_VIEWERS, len(admitted)
+    assert len(rejected) == offered - MAX_VIEWERS
+    assert all(isinstance(e, (HubSaturatedError, LayoutSaturatedError))
+               for e in rejected)
+    statuses = {e.status for e in rejected}
+    assert statuses == {429, 503}, statuses
+    assert all(e.retry_after_s > 0 for e in rejected)
+
+    final_frame = N_FRAMES - 1
+    latencies_by_viewer: list[list] = [[] for _ in admitted]
+    consumers = [
+        threading.Thread(
+            target=_consume, args=(queue, final_frame, latencies_by_viewer[i]),
+            daemon=True,
+        )
+        for i, queue in enumerate(admitted)
+    ]
+    for thread in consumers:
+        thread.start()
+
+    start = time.perf_counter()
+    for index, slabs in source.frames(N_FRAMES):
+        hub.publish(index, slabs, force=index == final_frame)
+        time.sleep(PUBLISH_PERIOD_S)
+    elapsed = time.perf_counter() - start
+    for thread in consumers:
+        thread.join(timeout=30.0)
+    assert not any(thread.is_alive() for thread in consumers)
+
+    received = sum(queue.delivered for queue in admitted)
+    goodput = received / (MAX_VIEWERS * N_FRAMES)
+    latencies = np.array(sorted(sum(latencies_by_viewer, [])))
+    p50_ms = float(np.percentile(latencies, 50) * 1e3)
+    p99_ms = float(np.percentile(latencies, 99) * 1e3)
+
+    # The overload contract under 2x offered load: the admitted population
+    # is actually served, and prompt consumers are never shed.
+    assert goodput >= 0.8, f"goodput {goodput:.3f} under 2x admission load"
+    assert controller.shed_total == 0, controller.stats()
+
+    _record(
+        f"serve_overload_{offered}offered_{MAX_VIEWERS}cap",
+        {
+            "offered": offered,
+            "admitted": len(admitted),
+            "rejected_typed": len(rejected),
+            "rejected_429": sum(1 for e in rejected if e.status == 429),
+            "rejected_503": sum(1 for e in rejected if e.status == 503),
+            "frames": N_FRAMES,
+            "seconds": elapsed,
+            "goodput_ratio": goodput,
+            "deliveries_per_s": received / elapsed,
+            "p50_publish_to_delivery_ms": p50_ms,
+            "p99_publish_to_delivery_ms": p99_ms,
+            "shed": controller.shed_total,
+            "ladder_level": controller.level,
+        },
+    )
+    hub.close()
+
+
+if __name__ == "__main__":
+    test_goodput_under_double_admission_load()
+    print(BENCH_RECORD.read_text())

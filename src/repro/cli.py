@@ -208,17 +208,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from .faults.chaos import run_chaos
+    if args.edge and (args.crashes or args.resizes):
+        print("error: --edge is mutually exclusive with --crashes/--resizes",
+              file=sys.stderr)
+        return 2
+    if args.edge:
+        from .faults.edgechaos import run_edge_chaos
 
-    report = run_chaos(
-        seed=args.seed,
-        runs=args.runs,
-        ops=args.ops,
-        nprocs=args.nprocs,
-        log=None if args.quiet else print,
-        crashes=args.crashes,
-        resizes=args.resizes,
-    )
+        report = run_edge_chaos(
+            seed=args.seed,
+            runs=args.runs,
+            clients=args.clients,
+            log=None if args.quiet else print,
+        )
+    else:
+        from .faults.chaos import run_chaos
+
+        report = run_chaos(
+            seed=args.seed,
+            runs=args.runs,
+            ops=args.ops,
+            nprocs=args.nprocs,
+            log=None if args.quiet else print,
+            crashes=args.crashes,
+            resizes=args.resizes,
+        )
     print(report.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -246,10 +260,14 @@ def _cmd_autoscale(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
     import time
+    import urllib.request
 
     from .serve import (
+        EdgeLimits,
         FrameHub,
         LbmSource,
+        OverloadController,
+        SloPolicy,
         StreamEdge,
         SyntheticSource,
         run_viewers,
@@ -260,14 +278,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            steps_per_frame=args.steps_per_frame)
     else:
         source = SyntheticSource(args.nx, args.ny, m=args.m)
+    controller = None
+    if args.degrade == "ladder":
+        policy = (
+            SloPolicy() if args.slo_ms is None
+            else SloPolicy(publish_slo_s=args.slo_ms / 1000.0)
+        )
+        controller = OverloadController(policy)
     hub = FrameHub(args.nx, args.ny, m=args.m, quality=args.quality,
-                   backend=args.backend)
-    edge = StreamEdge(hub, host=args.host, port=args.port)
+                   backend=args.backend, max_viewers=args.max_viewers,
+                   overload=controller)
+    limits = (
+        EdgeLimits() if args.max_conns is None
+        else EdgeLimits(max_conns=args.max_conns)
+    )
+    edge = StreamEdge(hub, host=args.host, port=args.port, limits=limits)
     edge.serve_in_thread()
     period = 1.0 / args.fps if args.fps > 0 else 0.0
+    final_frame = args.frames - 1
 
     if args.smoke_viewers:
-        final_frame = args.frames - 1
         holder: dict = {}
 
         def attach() -> None:
@@ -283,7 +313,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             time.sleep(0.01)
         connected = hub.viewer_count()
         for index, slabs in source.frames(args.frames):
-            hub.publish(index, slabs)
+            # force= guarantees the final frame beats any fps-rung stride.
+            hub.publish(index, slabs, force=index == final_frame)
             if period:
                 time.sleep(period)
         thread.join(timeout=90.0)
@@ -298,6 +329,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{report.error}",
                 file=sys.stderr,
             )
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{edge.port}/healthz", timeout=10.0
+        ) as response:
+            healthy = (
+                response.status == 200 and response.read().strip() == b"ok"
+            )
+        shed = int(hub.metrics.counters.get("serve.viewers_shed", 0))
         stats = hub.stats()
         cache = stats["mapping_cache"]
         print(
@@ -310,14 +348,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{cache['hit_rate']:.3f}, evictions {cache['evictions']}, "
             f"pool bytes {cache['pool_bytes']}"
         )
+        print(
+            f"  healthz {'ok' if healthy else 'NOT ok'}, viewers shed "
+            f"{shed}, degrade "
+            f"{stats['overload']['level_name'] if stats['overload'] else 'off'}"
+        )
+        if not healthy:
+            print("FAIL: /healthz did not answer ok", file=sys.stderr)
+        if shed:
+            print(f"FAIL: {shed} viewers were shed during an unloaded smoke",
+                  file=sys.stderr)
         edge.shutdown()
         hub.close()
-        return 0 if reports and not failures else 1
+        return 0 if reports and not failures and healthy and not shed else 1
 
     print(f"serving on http://{args.host}:{edge.port}/  (ctrl-C to stop)")
     try:
         for index, slabs in source.frames(args.frames):
-            hub.publish(index, slabs)
+            hub.publish(index, slabs, force=index == final_frame)
             if period:
                 time.sleep(period)
     except KeyboardInterrupt:
@@ -426,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "schedules (rank spawn + retire) under self-healing "
                     "faults; requires bitwise-correct output or a typed "
                     "error")
+    pc.add_argument("--edge", action="store_true",
+                    help="edge mode: storm a live serving edge with seeded "
+                    "misbehaving clients (slow-loris, garbage, WS "
+                    "violations, half-closed sockets, connect floods, "
+                    "never-reading consumers); requires OK / "
+                    "degraded-by-policy / typed-error outcomes")
+    pc.add_argument("--clients", type=int, default=5,
+                    help="misbehaving clients per edge storm (default 5)")
     pc.add_argument("--json", metavar="PATH", default=None,
                     help="write the machine-readable report to PATH")
     pc.add_argument("--quiet", action="store_true",
@@ -486,7 +542,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--port", type=int, default=8737,
                     help="TCP port; 0 picks a free one (default 8737)")
     ps.add_argument("--smoke-viewers", type=int, default=0, metavar="N",
-                    help="run N synthetic viewers and gate on delivery")
+                    help="run N synthetic viewers and gate on delivery, "
+                    "/healthz answering ok, and zero shed viewers")
+    ps.add_argument("--max-viewers", type=int, default=None,
+                    help="hub-wide viewer admission cap (503 + Retry-After "
+                    "beyond it; default unlimited)")
+    ps.add_argument("--max-conns", type=int, default=None,
+                    help="concurrent TCP connection cap at the edge "
+                    "(503 + Retry-After beyond it; default 256)")
+    ps.add_argument("--slo-ms", type=float, default=None,
+                    help="publish-latency SLO in milliseconds for the "
+                    "degradation ladder (default 250)")
+    ps.add_argument("--degrade", choices=("off", "ladder"), default="ladder",
+                    help="overload response: 'ladder' walks quality->mip->"
+                    "fps->shed with hysteresis, 'off' disables the "
+                    "controller (default ladder)")
     ps.set_defaults(fn=_cmd_serve)
     return parser
 

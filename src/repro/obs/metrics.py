@@ -108,6 +108,12 @@ class MetricsRegistry:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + value
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set a counter to an instantaneous value (gauge semantics: the
+        latest observation wins — pool bytes, queue depth, ladder level)."""
+        with self._lock:
+            self.counters[name] = float(value)
+
     def observe(self, name: str, seconds: float, rank: Optional[int] = None) -> None:
         with self._lock:
             self._histogram(self.histograms, name).observe(seconds)

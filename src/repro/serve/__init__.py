@@ -5,24 +5,56 @@ concurrent consumers, each with its own layout satisfied by independent
 DDR mappings over the same producer slabs (layout-keyed, LRU-bounded
 mapping cache), delivered as MJPEG over HTTP multipart or WebSocket with
 per-viewer backpressure and latest-wins coalescing.
+
+Overload is a governed regime, not an accident: hub admission caps refuse
+typed (429/503 + ``Retry-After``), an SLO-driven
+:class:`~repro.serve.overload.OverloadController` walks a degradation
+ladder (quality → mip → fps → shed) with hysteresis, a producer-stall
+circuit breaker flips ``/readyz`` and serves last-good frames, and
+:class:`~repro.serve.edge.EdgeLimits` bounds what any one client
+connection may cost the edge.
 """
 
-from .edge import StreamEdge
-from .hub import FrameHub, ServedFrame, ViewerDisconnectedError, ViewerQueue
+from .edge import EdgeLimits, StreamEdge
+from .hub import (
+    FrameHub,
+    ServedFrame,
+    ViewerDisconnectedError,
+    ViewerQueue,
+    ViewerShedError,
+)
 from .layout import ConsumerLayout
+from .overload import (
+    LADDER,
+    AdmissionError,
+    HubSaturatedError,
+    LayoutSaturatedError,
+    OverloadController,
+    SloPolicy,
+)
 from .producer import LbmSource, SyntheticSource
 from .smoke import SMOKE_LAYOUT_QUERIES, ViewerReport, run_viewers
+from .ws import WsProtocolError
 
 __all__ = [
+    "AdmissionError",
     "ConsumerLayout",
+    "EdgeLimits",
     "FrameHub",
+    "HubSaturatedError",
+    "LADDER",
+    "LayoutSaturatedError",
     "LbmSource",
+    "OverloadController",
     "SMOKE_LAYOUT_QUERIES",
     "ServedFrame",
+    "SloPolicy",
     "StreamEdge",
     "SyntheticSource",
     "ViewerDisconnectedError",
     "ViewerQueue",
     "ViewerReport",
+    "ViewerShedError",
+    "WsProtocolError",
     "run_viewers",
 ]

@@ -18,6 +18,7 @@ producer), so every viewer always converges to the latest frame — the
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -36,12 +37,24 @@ from ..utils.arrays import StagingPool
 from ..viz.colormaps import BLUE_WHITE_RED
 from ..viz.image import render_scalar_field
 from .layout import ConsumerLayout
+from .overload import HubSaturatedError, LayoutSaturatedError, OverloadController
 
-__all__ = ["FrameHub", "ServedFrame", "ViewerDisconnectedError", "ViewerQueue"]
+__all__ = [
+    "FrameHub",
+    "ServedFrame",
+    "ViewerDisconnectedError",
+    "ViewerQueue",
+    "ViewerShedError",
+]
 
 
 class ViewerDisconnectedError(Exception):
     """Typed signal that a viewer's queue was closed (client went away)."""
+
+
+class ViewerShedError(ViewerDisconnectedError):
+    """The hub shed this viewer *by policy* (overload ladder) — the client
+    did nothing wrong and should retry later."""
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,7 @@ class ServedFrame:
     layout_key: tuple
     jpeg: bytes
     shape: tuple[int, int]  # (h, w) of the encoded image
+    published_at: float = 0.0  # perf_counter stamp at encode time
 
 
 class ViewerQueue:
@@ -83,6 +97,7 @@ class ViewerQueue:
         self._frames: deque[ServedFrame] = deque()
         self._cond = threading.Condition()
         self.closed = False
+        self.close_reason: Optional[str] = None  # "shed" -> ViewerShedError
         self.coalesced = 0  # frames dropped because this viewer was slow
         self.delivered = 0  # frames handed to the transport
         self.last_index: Optional[int] = None  # newest frame index ever queued
@@ -102,6 +117,13 @@ class ViewerQueue:
             self.on_frame()
         return True
 
+    def _raise_closed(self) -> None:
+        if self.close_reason == "shed":
+            raise ViewerShedError(
+                f"viewer {self.viewer_id} was shed by overload policy"
+            )
+        raise ViewerDisconnectedError(f"viewer {self.viewer_id} is closed")
+
     def try_pop(self) -> Optional[ServedFrame]:
         """Viewer side, non-blocking; None when nothing is buffered."""
         with self._cond:
@@ -109,7 +131,7 @@ class ViewerQueue:
                 self.delivered += 1
                 return self._frames.popleft()
             if self.closed:
-                raise ViewerDisconnectedError(f"viewer {self.viewer_id} is closed")
+                self._raise_closed()
             return None
 
     def pop(self, timeout: Optional[float] = None) -> Optional[ServedFrame]:
@@ -122,13 +144,14 @@ class ViewerQueue:
             if self._frames:
                 self.delivered += 1
                 return self._frames.popleft()
-            raise ViewerDisconnectedError(f"viewer {self.viewer_id} is closed")
+            self._raise_closed()
 
-    def close(self) -> None:
+    def close(self, reason: Optional[str] = None) -> None:
         with self._cond:
             if self.closed:
                 return
             self.closed = True
+            self.close_reason = reason
             self._cond.notify_all()
         if self.on_frame is not None:
             self.on_frame()
@@ -157,6 +180,10 @@ class FrameHub:
         queue_capacity: int = 2,
         backend: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        max_viewers: Optional[int] = None,
+        max_viewers_per_layout: Optional[int] = None,
+        overload: Optional[OverloadController] = None,
+        retry_after_s: float = 1.0,
     ) -> None:
         self.nx, self.ny = int(nx), int(ny)
         if producer_boxes is None:
@@ -169,25 +196,81 @@ class FrameHub:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.quality = int(quality)
         self.queue_capacity = int(queue_capacity)
+        self.max_viewers = max_viewers
+        self.max_viewers_per_layout = max_viewers_per_layout
+        self.overload = overload
+        self.retry_after_s = float(retry_after_s)
         self._pool = StagingPool()  # assembled-ROI scratch, keyed by shape
         self._lock = threading.Lock()
         self._next_viewer = 0
         #: viewer_id -> queue; layouts are recovered from the queues
         self._viewers: dict[int, ViewerQueue] = {}
+        #: layout key -> newest ServedFrame (the stale-serving circuit breaker)
+        self._last_good: dict[tuple, ServedFrame] = {}
         self.frames_published = 0
+        self.frames_ratelimited = 0
+        self._last_publish_mono: Optional[float] = None
+        self.draining = False
         self.closed = False
 
     # -- viewer lifecycle ----------------------------------------------------
+
+    def _admit_layout(self, layout: ConsumerLayout) -> ConsumerLayout:
+        """Apply the ladder's mip floor to a new registration."""
+        if self.overload is None:
+            return layout
+        floor = self.overload.min_mip
+        if floor <= layout.mip:
+            return layout
+        x0, y0 = layout.roi.offset
+        w, h = layout.roi.dims
+        self.metrics.incr("serve.mip_forced")
+        return ConsumerLayout.make(
+            self.nx, self.ny, x=x0, y=y0, w=w, h=h, mip=floor, parts=layout.parts
+        )
 
     def register(
         self,
         layout: ConsumerLayout,
         on_frame: Optional[Callable[[], None]] = None,
     ) -> ViewerQueue:
-        """Attach a viewer; returns its private frame queue."""
+        """Attach a viewer; returns its private frame queue.
+
+        Admission control lives here: the hub-wide viewer cap refuses with
+        :class:`~repro.serve.overload.HubSaturatedError` (503) and the
+        per-layout cap with
+        :class:`~repro.serve.overload.LayoutSaturatedError` (429), both
+        carrying a ``Retry-After`` hint.  When the overload ladder sits at
+        the mip rung or below, new registrations are forced to a coarser
+        mip level before the cache key is computed.
+        """
         if self.closed:
             raise ViewerDisconnectedError("hub is closed")
+        layout = self._admit_layout(layout)
+        key = layout.canonical_key()
         with self._lock:
+            if (
+                self.max_viewers is not None
+                and len(self._viewers) >= self.max_viewers
+            ):
+                self.metrics.incr("serve.admission_rejected")
+                raise HubSaturatedError(
+                    f"hub viewer cap reached ({self.max_viewers})",
+                    retry_after_s=self.retry_after_s,
+                )
+            if self.max_viewers_per_layout is not None:
+                same = sum(
+                    1
+                    for q in self._viewers.values()
+                    if q.layout.canonical_key() == key
+                )
+                if same >= self.max_viewers_per_layout:
+                    self.metrics.incr("serve.admission_rejected")
+                    raise LayoutSaturatedError(
+                        f"layout viewer cap reached "
+                        f"({self.max_viewers_per_layout} for {layout.describe()})",
+                        retry_after_s=self.retry_after_s,
+                    )
             viewer_id = self._next_viewer
             self._next_viewer += 1
             queue = ViewerQueue(
@@ -214,6 +297,74 @@ class FrameHub:
     def viewer_count(self) -> int:
         with self._lock:
             return len(self._viewers)
+
+    def shed_viewers(self, count: int) -> int:
+        """Shed up to ``count`` viewers by policy — newest/slowest first
+        (most coalesced frames, then highest viewer id).  Their queues
+        close typed as :class:`ViewerShedError`; returns how many went."""
+        if count <= 0:
+            return 0
+        with self._lock:
+            victims = sorted(
+                self._viewers.values(),
+                key=lambda q: (q.coalesced, q.viewer_id),
+                reverse=True,
+            )[:count]
+            for queue in victims:
+                self._viewers.pop(queue.viewer_id, None)
+        for queue in victims:
+            queue.close(reason="shed")
+            self.metrics.incr("serve.viewers_shed")
+            if TRACER.enabled:
+                with TRACER.span(
+                    "serve.shed", viewer=queue.viewer_id,
+                    coalesced=queue.coalesced,
+                ):
+                    pass
+        if self.overload is not None and victims:
+            self.overload.note_shed(len(victims))
+        return len(victims)
+
+    # -- liveness / readiness ------------------------------------------------
+
+    def stalled(self) -> bool:
+        """Producer-stall circuit breaker: True once the producer has
+        published at least one frame and then gone quiet for longer than
+        the SLO policy's ``stall_timeout_s``."""
+        if self._last_publish_mono is None:
+            return False
+        timeout = (
+            self.overload.policy.stall_timeout_s
+            if self.overload is not None
+            else 5.0
+        )
+        return time.monotonic() - self._last_publish_mono > timeout
+
+    def ready(self) -> tuple[bool, str]:
+        """(ready, reason) for the edge's ``/readyz``."""
+        if self.closed:
+            return False, "closed"
+        if self.draining:
+            return False, "draining"
+        if self.stalled():
+            return False, "producer-stalled"
+        return True, "ready"
+
+    def last_frame(self, layout: ConsumerLayout) -> Optional[ServedFrame]:
+        """The newest frame ever encoded for ``layout`` (stale serving)."""
+        return self._last_good.get(layout.canonical_key())
+
+    def drain(self) -> None:
+        """Graceful drain: close every viewer queue (streams end cleanly)
+        and refuse readiness, but keep the hub itself alive so ``/stats``
+        and ``/healthz`` still answer during shutdown."""
+        self.draining = True
+        with self._lock:
+            viewers = list(self._viewers.values())
+            self._viewers.clear()
+        for queue in viewers:
+            queue.close(reason="drain")
+            self.metrics.incr("serve.viewers_disconnected")
 
     # -- frame path ----------------------------------------------------------
 
@@ -254,14 +405,38 @@ class FrameHub:
         step = layout.step
         return roi[::step, ::step]
 
-    def publish(self, frame_index: int, slabs: Sequence[np.ndarray]) -> int:
+    def publish(
+        self, frame_index: int, slabs: Sequence[np.ndarray], force: bool = False
+    ) -> int:
         """Redistribute, render, and encode one producer frame for every
         distinct registered layout, then fan the JPEGs out to each viewer's
-        queue.  Returns the number of distinct layouts served."""
+        queue.  Returns the number of distinct layouts served.
+
+        When the overload ladder sits at the fps rung, frames off the
+        stride are skipped (the producer stays live for the circuit
+        breaker, but no work is done); ``force=True`` bypasses the stride
+        so a driver can guarantee its *final* frame goes out.  After the
+        fan-out the controller observes this epoch's SLO signals and any
+        pending shed request is applied.
+        """
         if len(slabs) != len(self.producer_boxes):
             raise ValueError(
                 f"expected {len(self.producer_boxes)} producer slabs, got {len(slabs)}"
             )
+        controller = self.overload
+        self._last_publish_mono = time.monotonic()
+        if controller is not None and not force:
+            stride = controller.frame_stride
+            if stride > 1 and frame_index % stride:
+                self.frames_ratelimited += 1
+                self.metrics.incr("serve.frames_ratelimited")
+                return 0
+        quality = (
+            controller.quality(self.quality) if controller is not None
+            else self.quality
+        )
+        started = time.perf_counter()
+        encode_s = 0.0
         with self._lock:
             queues = list(self._viewers.values())
         by_layout: dict[tuple, list[ViewerQueue]] = {}
@@ -277,10 +452,16 @@ class FrameHub:
                 viewers=len(audience),
             ):
                 field = self._assemble(layout, slabs)
+                encode_started = time.perf_counter()
                 with TRACER.span("serve.encode", frame=frame_index):
                     rgb = render_scalar_field(field, BLUE_WHITE_RED, symmetric=True)
-                    blob = encode_rgb(np.ascontiguousarray(rgb), quality=self.quality)
-            frame = ServedFrame(frame_index, key, blob, field.shape)
+                    blob = encode_rgb(np.ascontiguousarray(rgb), quality=quality)
+                encode_s += time.perf_counter() - encode_started
+            frame = ServedFrame(
+                frame_index, key, blob, field.shape,
+                published_at=time.perf_counter(),
+            )
+            self._last_good[key] = frame
             gone = []
             for queue in audience:
                 before = queue.coalesced
@@ -294,6 +475,19 @@ class FrameHub:
                 self.unregister(queue)
         self.frames_published += 1
         self.metrics.incr("serve.frames_published")
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("serve.publish", elapsed)
+        if encode_s:
+            self.metrics.observe("serve.encode", encode_s)
+        self.metrics.gauge(
+            "serve.pool_bytes", self.mapping_cache.stats()["pool_bytes"]
+        )
+        if controller is not None:
+            controller.observe_registry(self.metrics)
+            self.metrics.gauge("serve.degrade_level", controller.level)
+            shed = controller.take_shed_request(self.viewer_count())
+            if shed:
+                self.shed_viewers(shed)
         return len(by_layout)
 
     # -- reporting / shutdown ------------------------------------------------
@@ -301,12 +495,24 @@ class FrameHub:
     def stats(self) -> dict:
         with self._lock:
             viewers = list(self._viewers.values())
+        ready, reason = self.ready()
         return {
             "viewers": len(viewers),
             "frames_published": self.frames_published,
+            "frames_ratelimited": self.frames_ratelimited,
             "coalesced_in_flight": sum(q.coalesced for q in viewers),
             "mapping_cache": self.mapping_cache.stats(),
             "counters": dict(self.metrics.counters),
+            "ready": ready,
+            "ready_reason": reason,
+            "admission": {
+                "max_viewers": self.max_viewers,
+                "max_viewers_per_layout": self.max_viewers_per_layout,
+                "rejected": self.metrics.counters.get("serve.admission_rejected", 0),
+            },
+            "overload": (
+                self.overload.stats() if self.overload is not None else None
+            ),
         }
 
     def close(self) -> None:
@@ -319,3 +525,4 @@ class FrameHub:
             queue.close()
         self.mapping_cache.clear()
         self._pool.clear()
+        self._last_good.clear()

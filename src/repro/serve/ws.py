@@ -15,13 +15,19 @@ import struct
 from typing import Optional
 
 __all__ = [
+    "CLOSE_NORMAL",
+    "CLOSE_PROTOCOL_ERROR",
+    "CLOSE_TOO_BIG",
+    "CLOSE_TRY_AGAIN_LATER",
     "OP_BINARY",
     "OP_CLOSE",
     "OP_PING",
     "OP_PONG",
     "OP_TEXT",
+    "WsProtocolError",
     "accept_key",
     "decode_frame",
+    "encode_close",
     "encode_frame",
 ]
 
@@ -33,6 +39,30 @@ OP_BINARY = 0x2
 OP_CLOSE = 0x8
 OP_PING = 0x9
 OP_PONG = 0xA
+
+#: Opcodes this edge produces or accepts; everything else is reserved.
+KNOWN_OPCODES = frozenset({OP_TEXT, OP_BINARY, OP_CLOSE, OP_PING, OP_PONG})
+CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+#: RFC 6455 §7.4.1 close codes.
+CLOSE_NORMAL = 1000
+CLOSE_PROTOCOL_ERROR = 1002
+CLOSE_TOO_BIG = 1009
+CLOSE_TRY_AGAIN_LATER = 1013
+
+
+class WsProtocolError(ValueError):
+    """A malformed or policy-violating frame, carrying the RFC 6455 close
+    code the peer should receive (1002 protocol error, 1009 too big).
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError`` drains
+    keep working; new callers read :attr:`code` to send a proper close
+    frame instead of silently dropping the connection.
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def accept_key(client_key: str) -> str:
@@ -62,19 +92,41 @@ def encode_frame(payload: bytes, opcode: int = OP_BINARY, mask: bool = False) ->
     return bytes(header) + masked
 
 
-def decode_frame(buffer: bytes) -> Optional[tuple[int, bytes, int]]:
+def encode_close(code: int = CLOSE_NORMAL, reason: bytes = b"", mask: bool = False) -> bytes:
+    """A close frame carrying an RFC 6455 status code (and short reason)."""
+    return encode_frame(struct.pack(">H", code) + reason[:123], OP_CLOSE, mask=mask)
+
+
+def decode_frame(
+    buffer: bytes, max_payload: Optional[int] = None
+) -> Optional[tuple[int, bytes, int]]:
     """Parse one frame from the head of ``buffer``.
 
     Returns ``(opcode, payload, bytes_consumed)``, or ``None`` when the
-    buffer does not yet hold a complete frame.  Raises ``ValueError`` on
-    fragmented messages (FIN=0), which this edge never produces or accepts.
+    buffer does not yet hold a complete frame.  Raises
+    :class:`WsProtocolError` on fragmented messages (FIN=0 or continuation
+    frames, which this edge never produces or accepts), reserved RSV bits,
+    reserved/unknown opcodes, oversized control frames, and — when
+    ``max_payload`` is given — any frame whose *declared* length exceeds it
+    (raised before the payload is buffered, so a hostile length header
+    cannot make the server accumulate the bytes first).
     """
     if len(buffer) < 2:
         return None
     b0, b1 = buffer[0], buffer[1]
+    if b0 & 0x70:
+        raise WsProtocolError(
+            CLOSE_PROTOCOL_ERROR, "reserved RSV bits set without an extension"
+        )
     if not b0 & 0x80:
-        raise ValueError("fragmented WebSocket messages are not supported")
+        raise WsProtocolError(
+            CLOSE_PROTOCOL_ERROR, "fragmented WebSocket messages are not supported"
+        )
     opcode = b0 & 0x0F
+    if opcode not in KNOWN_OPCODES:
+        raise WsProtocolError(
+            CLOSE_PROTOCOL_ERROR, f"reserved/unknown opcode 0x{opcode:x}"
+        )
     masked = bool(b1 & 0x80)
     length = b1 & 0x7F
     offset = 2
@@ -88,6 +140,14 @@ def decode_frame(buffer: bytes) -> Optional[tuple[int, bytes, int]]:
             return None
         (length,) = struct.unpack_from(">Q", buffer, offset)
         offset += 8
+    if opcode in CONTROL_OPCODES and length > 125:
+        raise WsProtocolError(
+            CLOSE_PROTOCOL_ERROR, f"control frame payload {length} exceeds 125 bytes"
+        )
+    if max_payload is not None and length > max_payload:
+        raise WsProtocolError(
+            CLOSE_TOO_BIG, f"frame payload {length} exceeds the {max_payload}-byte cap"
+        )
     key = b""
     if masked:
         if len(buffer) < offset + 4:

@@ -1,0 +1,150 @@
+"""Half-open and never-reading clients: no stuck handlers, no task leaks."""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    EdgeLimits,
+    FrameHub,
+    StreamEdge,
+    SyntheticSource,
+)
+
+NX, NY, M = 32, 16, 2
+
+#: Small buffers + a short stall timeout so a never-reading client trips
+#: the write-stall guard deterministically inside a test's budget.
+TIGHT = EdgeLimits(
+    write_stall_timeout_s=0.5,
+    write_buffer_bytes=8192,
+    sock_sndbuf=4096,
+)
+
+
+@pytest.fixture
+def served():
+    source = SyntheticSource(NX, NY, m=M)
+    hub = FrameHub(NX, NY, m=M)
+    edge = StreamEdge(hub, frame_timeout_s=5.0, limits=TIGHT)
+    edge.serve_in_thread()
+    stop = threading.Event()
+
+    def produce():
+        frame = 0
+        while not stop.is_set():
+            hub.publish(frame, source.slabs(frame))
+            frame += 1
+            time.sleep(0.01)
+
+    producer = threading.Thread(target=produce, daemon=True)
+    producer.start()
+    yield hub, edge
+    stop.set()
+    producer.join(timeout=10.0)
+    edge.shutdown()
+    hub.close()
+
+
+def _await_zero_viewers(hub, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while hub.viewer_count() > 0 and time.monotonic() < deadline:
+        time.sleep(0.02)
+    return hub.viewer_count()
+
+
+def _await_tasks(edge, baseline, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while edge.task_count() > baseline and time.monotonic() < deadline:
+        time.sleep(0.02)
+    return edge.task_count()
+
+
+class TestHalfOpen:
+    def test_abortive_close_mid_stream_reaps_the_viewer(self, served):
+        hub, edge = served
+        baseline = edge.task_count()
+        sock = socket.create_connection(("127.0.0.1", edge.port), timeout=10)
+        sock.settimeout(10.0)
+        sock.sendall(b"GET /mjpeg HTTP/1.1\r\nHost: x\r\n\r\n")
+        sock.recv(1024)  # read a little, prove the stream started
+        # RST instead of FIN: the rudest possible exit.
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+        assert _await_zero_viewers(hub) == 0
+        assert _await_tasks(edge, baseline) <= baseline
+
+    def test_write_half_closed_socket_is_noticed_via_eof(self, served):
+        hub, edge = served
+        sock = socket.create_connection(("127.0.0.1", edge.port), timeout=10)
+        sock.settimeout(10.0)
+        sock.sendall(b"GET /mjpeg HTTP/1.1\r\nHost: x\r\n\r\n")
+        sock.recv(1024)
+        sock.shutdown(socket.SHUT_WR)  # we stop talking but keep reading
+        sock.close()
+        assert _await_zero_viewers(hub) == 0
+
+    def test_ws_client_vanishing_is_reaped(self, served):
+        hub, edge = served
+        sock = socket.create_connection(("127.0.0.1", edge.port), timeout=10)
+        sock.settimeout(10.0)
+        sock.sendall(
+            b"GET /ws HTTP/1.1\r\nHost: x\r\nUpgrade: websocket\r\n"
+            b"Connection: Upgrade\r\n"
+            b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n"
+        )
+        head = sock.recv(4096)
+        assert head.startswith(b"HTTP/1.1 101")
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+        assert _await_zero_viewers(hub) == 0
+
+
+class TestNeverReading:
+    def test_never_reading_mjpeg_consumer_trips_the_stall_guard(self, served):
+        hub, edge = served
+        baseline = edge.task_count()
+        sock = socket.create_connection(("127.0.0.1", edge.port), timeout=30)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+        sock.sendall(b"GET /mjpeg HTTP/1.1\r\nHost: x\r\n\r\n")
+        try:
+            deadline = time.monotonic() + 10.0
+            while hub.viewer_count() < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert hub.viewer_count() == 1, "viewer never registered"
+            # Never read.  The producer keeps publishing; once kernel and
+            # transport buffers fill, drain() stalls and the guard fires.
+            assert _await_zero_viewers(hub, timeout=15.0) == 0
+            assert hub.metrics.counters.get("serve.viewer_stalls", 0) >= 1
+            assert _await_tasks(edge, baseline) <= baseline
+        finally:
+            sock.close()
+
+    def test_no_async_viewer_task_leaks_across_a_client_storm(self, served):
+        hub, edge = served
+        baseline = edge.task_count()
+        for _ in range(8):
+            sock = socket.create_connection(("127.0.0.1", edge.port), timeout=10)
+            sock.settimeout(5.0)
+            sock.sendall(b"GET /mjpeg HTTP/1.1\r\nHost: x\r\n\r\n")
+            sock.recv(512)
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+        assert _await_zero_viewers(hub) == 0
+        assert _await_tasks(edge, baseline) <= baseline
+        # And the edge still serves: a fresh cooperative client gets bytes.
+        with socket.create_connection(
+            ("127.0.0.1", edge.port), timeout=10
+        ) as sock:
+            sock.settimeout(10.0)
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert b"200" in sock.recv(4096)

@@ -1,13 +1,21 @@
-"""RFC 6455 framing helpers: handshake key, encode/decode round-trips."""
+"""RFC 6455 framing helpers: handshake key, encode/decode round-trips,
+and protocol hardening (payload caps, reserved bits/opcodes, close codes)."""
+
+import struct
 
 import pytest
 
 from repro.serve.ws import (
+    CLOSE_PROTOCOL_ERROR,
+    CLOSE_TOO_BIG,
     OP_BINARY,
     OP_CLOSE,
+    OP_PING,
     OP_TEXT,
+    WsProtocolError,
     accept_key,
     decode_frame,
+    encode_close,
     encode_frame,
 )
 
@@ -45,5 +53,63 @@ def test_two_frames_back_to_back():
 def test_fragmented_frame_rejected():
     wire = bytearray(encode_frame(b"frag"))
     wire[0] &= 0x7F  # clear FIN
-    with pytest.raises(ValueError, match="fragmented"):
+    with pytest.raises(WsProtocolError, match="fragmented") as info:
         decode_frame(bytes(wire))
+    assert info.value.code == CLOSE_PROTOCOL_ERROR
+
+
+def test_oversized_declared_length_rejected_before_buffering():
+    # Header declares 1 GiB but carries no payload: the cap must fire on
+    # the *declared* length, not wait for a gigabyte to accumulate.
+    wire = bytes([0x80 | OP_BINARY, 127]) + struct.pack(">Q", 1 << 30)
+    with pytest.raises(WsProtocolError, match="exceeds") as info:
+        decode_frame(wire, max_payload=1 << 20)
+    assert info.value.code == CLOSE_TOO_BIG
+
+
+def test_payload_at_the_cap_is_accepted():
+    payload = b"x" * 1024
+    wire = encode_frame(payload, OP_BINARY)
+    opcode, decoded, _ = decode_frame(wire, max_payload=1024)
+    assert (opcode, decoded) == (OP_BINARY, payload)
+
+
+def test_reserved_rsv_bits_rejected():
+    wire = bytearray(encode_frame(b"x"))
+    wire[0] |= 0x40  # RSV1 without a negotiated extension
+    with pytest.raises(WsProtocolError, match="RSV") as info:
+        decode_frame(bytes(wire))
+    assert info.value.code == CLOSE_PROTOCOL_ERROR
+
+
+@pytest.mark.parametrize("opcode", [0x3, 0x7, 0xB, 0xF])
+def test_reserved_opcodes_rejected(opcode):
+    wire = encode_frame(b"", opcode)
+    with pytest.raises(WsProtocolError, match="opcode") as info:
+        decode_frame(wire)
+    assert info.value.code == CLOSE_PROTOCOL_ERROR
+
+
+def test_control_frame_over_125_bytes_rejected():
+    # A control frame with an extended (126) length header is malformed
+    # per RFC 6455 section 5.5 even when the payload would be small.
+    wire = bytes([0x80 | OP_PING, 126]) + struct.pack(">H", 200) + b"x" * 200
+    with pytest.raises(WsProtocolError, match="control frame") as info:
+        decode_frame(wire)
+    assert info.value.code == CLOSE_PROTOCOL_ERROR
+
+
+def test_encode_close_round_trips_code_and_reason():
+    wire = encode_close(CLOSE_TOO_BIG, b"too big")
+    opcode, payload, _ = decode_frame(wire)
+    assert opcode == OP_CLOSE
+    (code,) = struct.unpack(">H", payload[:2])
+    assert code == CLOSE_TOO_BIG
+    assert payload[2:] == b"too big"
+
+
+def test_encode_close_truncates_long_reasons_to_control_limit():
+    wire = encode_close(CLOSE_PROTOCOL_ERROR, b"r" * 500)
+    opcode, payload, _ = decode_frame(wire)
+    assert opcode == OP_CLOSE
+    assert len(payload) <= 125  # stays a legal control frame

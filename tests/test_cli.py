@@ -66,6 +66,23 @@ class TestServe:
         assert args.port == 8737
         assert args.smoke_viewers == 0
 
+    def test_serve_overload_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.max_viewers is None
+        assert args.max_conns is None
+        assert args.slo_ms is None
+        assert args.degrade == "ladder"
+
+    def test_serve_overload_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--max-viewers", "16", "--max-conns", "64",
+             "--slo-ms", "250", "--degrade", "off"]
+        )
+        assert args.max_viewers == 16
+        assert args.max_conns == 64
+        assert args.slo_ms == 250.0
+        assert args.degrade == "off"
+
     def test_serve_smoke_gates_on_delivery(self, capsys):
         assert (
             main(
@@ -80,6 +97,36 @@ class TestServe:
         out = capsys.readouterr().out
         assert "10/10 viewers saw frame 3" in out
         assert "mapping-cache hit rate" in out
+        assert "healthz ok" in out
+        assert "viewers shed 0" in out
+
+
+class TestEdgeChaos:
+    def test_chaos_edge_flags_parse(self):
+        args = build_parser().parse_args(["chaos", "--edge", "--clients", "3"])
+        assert args.edge is True
+        assert args.clients == 3
+        assert args.runs == 50  # shared default with transport chaos
+
+    def test_chaos_edge_excludes_transport_modes(self, capsys):
+        assert main(["chaos", "--edge", "--crashes"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_chaos_edge_single_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "edge.json"
+        assert (
+            main(
+                ["chaos", "--edge", "--runs", "1", "--clients", "2",
+                 "--seed", "4", "--quiet", "--json", str(out)]
+            )
+            == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["passed"] is True
+        (run,) = report["runs"]
+        assert run["workload"] == "edge-storm"
+        assert run["outcome"] in ("ok", "degraded", "typed-error")
+        assert "chaos: 1 runs" in capsys.readouterr().out
 
 
 class TestTrace:
