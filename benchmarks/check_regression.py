@@ -11,7 +11,8 @@ transport benchmarks in ``bench_micro.py`` write); pass the engine bench's
 instead.  A benchmark regresses when its watched throughput field drops
 more than ``--tolerance`` (default 20%) below the baseline; benchmarks
 present in only one record — or lacking the watched field — are reported
-but do not fail the check.  Exit status: 0 = no regression, 1 = regression,
+but do not fail the check; a field absent from *every* benchmark of a
+record is a usage error.  Exit status: 0 = no regression, 1 = regression,
 2 = usage/IO error.
 """
 
@@ -37,6 +38,22 @@ def load(path: Path) -> dict:
         sys.exit(2)
 
 
+def require_field(record: dict, field: str, path: Path) -> None:
+    """Exit 2 with a one-line error when ``field`` appears nowhere in ``record``.
+
+    Without this a typo'd ``--field`` (or gating the wrong JSON file) skips
+    every benchmark and the check passes vacuously — the gate silently
+    stops gating.
+    """
+    if not any(isinstance(entry, dict) and field in entry for entry in record.values()):
+        print(
+            f"error: field {field!r} is absent from every benchmark in {path} "
+            f"(wrong --field or wrong record?)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="previous BENCH_micro.json")
@@ -56,6 +73,8 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = load(args.baseline)
     current = load(args.current)
+    require_field(baseline, args.field, args.baseline)
+    require_field(current, args.field, args.current)
 
     regressions = []
     for name in sorted(set(baseline) | set(current)):

@@ -119,7 +119,7 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         sched = global_schedules(plan)[0]
         print(f"\n{name}: {sched.nrounds} round(s), "
               f"max partners/round {sched.max_partners}")
-        for backend in ("alltoallw", "p2p", "auto"):
+        for backend in ("alltoallw", "p2p", "auto", "bounded"):
             cost = engine_cost(COOLEY, plan, backend)
             detail = ""
             if backend == "auto":
@@ -208,8 +208,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    if args.edge and (args.crashes or args.resizes):
-        print("error: --edge is mutually exclusive with --crashes/--resizes",
+    if args.edge and (args.crashes or args.resizes or args.memory):
+        print("error: --edge is mutually exclusive with "
+              "--crashes/--resizes/--memory",
               file=sys.stderr)
         return 2
     if args.edge:
@@ -232,6 +233,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             log=None if args.quiet else print,
             crashes=args.crashes,
             resizes=args.resizes,
+            memory=args.memory,
         )
     print(report.summary())
     if args.json:
@@ -432,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("demo", choices=("intransit", "redistribute"),
                     help="workload to trace")
     pt.add_argument("--out", default="trace.json", help="output JSON path")
-    pt.add_argument("--backend", choices=("alltoallw", "p2p", "auto"),
+    pt.add_argument("--backend", choices=("alltoallw", "p2p", "auto", "bounded"),
                     default="auto", help="exchange engine (default auto)")
     pt.add_argument("--m", type=int, default=4, help="simulation ranks (intransit)")
     pt.add_argument("--n", type=int, default=2,
@@ -474,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "schedules (rank spawn + retire) under self-healing "
                     "faults; requires bitwise-correct output or a typed "
                     "error")
+    pc.add_argument("--memory", action="store_true",
+                    help="memory-pressure mode: run every schedule under a "
+                    "staging budget shrinking from the workload's measured "
+                    "peak, with seeded allocation faults; requires "
+                    "bitwise-correct output (bounded/auto lowering), "
+                    "degraded-by-policy frames, or a typed "
+                    "MemoryBudgetError — never an OOM kill or hang")
     pc.add_argument("--edge", action="store_true",
                     help="edge mode: storm a live serving edge with seeded "
                     "misbehaving clients (slow-loris, garbage, WS "
@@ -536,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="LBM steps between frames (default 10)")
     ps.add_argument("--quality", type=int, default=80,
                     help="JPEG quality (default 80)")
-    ps.add_argument("--backend", choices=("alltoallw", "p2p", "auto"),
+    ps.add_argument("--backend", choices=("alltoallw", "p2p", "auto", "bounded"),
                     default=None, help="exchange engine (default auto)")
     ps.add_argument("--host", default="127.0.0.1")
     ps.add_argument("--port", type=int, default=8737,

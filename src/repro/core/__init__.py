@@ -20,11 +20,13 @@ from .engine import (
     ENGINES,
     AlltoallwEngine,
     AutoEngine,
+    BoundedEngine,
     ExchangeEngine,
     ExchangeProgress,
     P2PEngine,
     default_backend,
     get_engine,
+    round_staging_estimate,
 )
 from .mapcache import MappingCache
 from .mapping import (
@@ -38,13 +40,18 @@ from .p2p import message_count_p2p, reorganize_data_p2p
 from .plan import GlobalPlan, RankPlan, RecvEntry, SendEntry, compute_global_plan
 from .reorganize import reorganize_data, reorganize_rounds
 from .schedule import (
+    DEFAULT_BOUNDED_CHUNK_BYTES,
+    MIN_CHUNK_BYTES,
+    PIECE_INFLIGHT,
     ExchangeSchedule,
     Lane,
     RoundSchedule,
     build_schedule,
+    chunk_bytes_for,
     collective_preferred,
     global_schedules,
     round_max_partners,
+    round_peak_stats,
 )
 from .serialize import (
     attach_loaded_plan,
@@ -56,9 +63,13 @@ from .serialize import (
 from .validate import MappingValidationError, check_send_coverage, infer_domain
 
 __all__ = [
+    "DEFAULT_BOUNDED_CHUNK_BYTES",
     "ENGINES",
+    "MIN_CHUNK_BYTES",
+    "PIECE_INFLIGHT",
     "AlltoallwEngine",
     "AutoEngine",
+    "BoundedEngine",
     "Box",
     "BufferCache",
     "DATA_TYPE_1D",
@@ -92,6 +103,7 @@ __all__ = [
     "check_buffers",
     "check_buffers_cached",
     "check_send_coverage",
+    "chunk_bytes_for",
     "collective_preferred",
     "compute_global_plan",
     "default_backend",
@@ -106,6 +118,8 @@ __all__ = [
     "plan_from_dict",
     "plan_to_dict",
     "round_max_partners",
+    "round_peak_stats",
+    "round_staging_estimate",
     "save_plan",
     "reorganize_data",
     "reorganize_data_p2p",

@@ -41,16 +41,37 @@ import numpy as np
 from ..faults.injector import FAULTS
 from ..faults.policy import ReliabilityPolicy
 from ..mpisim.comm import TRANSPORT_PACKED, Communicator
-from ..mpisim.errors import RetriesExhaustedError, TransientFaultError
+from ..mpisim.errors import (
+    MemoryBudgetError,
+    RetriesExhaustedError,
+    TransientFaultError,
+)
 from ..mpisim.request import Request, wait_all
 from ..obs.tracer import TRACER
+from ..utils.membudget import MEMORY_BUDGET
+from .box import Box
 from .descriptor import DataDescriptor
 from .mapping import LocalMapping
-from .packing import check_buffers_cached
-from .schedule import RoundSchedule, collective_preferred
+from .packing import check_buffers_cached, subarray_for
+from .schedule import (
+    DEFAULT_BOUNDED_CHUNK_BYTES,
+    Lane,
+    RoundSchedule,
+    chunk_bytes_for,
+    collective_preferred,
+)
 
 #: Environment override for the default backend (e.g. ``DDR_BACKEND=auto``).
 ENV_BACKEND = "DDR_BACKEND"
+
+
+def round_staging_estimate(rnd: RoundSchedule, zero_copy: bool) -> int:
+    """The round's budget-relevant peak: the *global* worst-rank statistic
+    when the schedule carries one (so every rank reaches the same verdict),
+    else this rank's own estimate (cost-model schedules only)."""
+    if zero_copy:
+        return rnd.self_bytes
+    return rnd.max_round_bytes or rnd.peak_bytes()
 
 Buffers = Union[np.ndarray, Sequence[np.ndarray], None]
 
@@ -344,23 +365,254 @@ class ExchangeEngine:
         # the round boundary is where that guarantee must be settled.
         wait_all(send_requests)
 
+    # -- bounded lowering (budget-sized pieces) -------------------------------
+
+    @staticmethod
+    def _require_budget(rnd: RoundSchedule, zero_copy: bool) -> None:
+        """Strict-engine preamble: refuse an over-budget round *before* any
+        message is posted, with the typed error naming the way out."""
+        limit = MEMORY_BUDGET.limit_bytes
+        if limit is None:
+            return
+        estimate = round_staging_estimate(rnd, zero_copy)
+        if estimate > limit:
+            raise MemoryBudgetError(
+                f"round {rnd.index}: estimated staging peak {estimate} bytes "
+                f"exceeds the {limit}-byte DDR_MEM_BUDGET_MB budget; run the "
+                "'bounded' (or 'auto') backend to lower the round into "
+                "budget-sized pieces"
+            )
+
+    @staticmethod
+    def _piece_regions(region: Box, nbytes: int, chunk_bytes: int) -> list[Box]:
+        """Split ``region`` into row-slices of at most ``chunk_bytes`` along
+        the slowest-varying axis (paper order: ``dims[-1]``).
+
+        A pure function of ``(region, chunk_bytes)`` — the sender and the
+        receiver of a lane hold the same overlap box and the same static
+        budget limit, so both derive the identical piece sequence without
+        communicating.  A single row larger than ``chunk_bytes`` stays one
+        piece (the floor of what row-slicing can do).
+        """
+        rows = region.dims[-1]
+        if rows <= 1 or nbytes <= chunk_bytes:
+            return [region]
+        row_bytes = max(1, nbytes // rows)
+        rows_per = max(1, chunk_bytes // row_bytes)
+        axis = region.ndim - 1
+        pieces: list[Box] = []
+        for start in range(0, rows, rows_per):
+            count = min(rows_per, rows - start)
+            offset = list(region.offset)
+            offset[axis] += start
+            dims = list(region.dims)
+            dims[axis] = count
+            pieces.append(Box(tuple(offset), tuple(dims)))
+        return pieces
+
+    @classmethod
+    def _lane_pieces(
+        cls, rnd: RoundSchedule, lane: Optional[Lane], chunk_bytes: int
+    ):
+        """Per-piece subarray types for ``lane``, cached on the round.
+
+        Falls back to the lane's full datatype when the geometry context is
+        missing (schedules built without boxes) or the lane already fits.
+        """
+        if lane is None or lane.datatype is None or lane.datatype.size_elements() == 0:
+            return []
+        if (
+            lane.region is None
+            or lane.container is None
+            or rnd.mpi_type is None
+            or lane.nbytes <= chunk_bytes
+        ):
+            return [lane.datatype]
+        key = (lane.container, lane.region, chunk_bytes)
+        cached = rnd._piece_cache.get(key)
+        if cached is None:
+            cached = [
+                subarray_for(lane.container, piece, rnd.mpi_type, rnd.components)
+                for piece in cls._piece_regions(lane.region, lane.nbytes, chunk_bytes)
+            ]
+            rnd._piece_cache[key] = cached
+        return cached
+
+    @classmethod
+    def _self_copy_bounded(
+        cls,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        zero_copy: bool,
+        chunk_bytes: int,
+    ) -> None:
+        """Self-transfer with the packed temporary capped at ~``chunk_bytes``."""
+        send = rnd.self_send
+        if send is None or send.datatype is None or send.datatype.size_elements() == 0:
+            return
+        recv = rnd.self_recv
+        assert sendbuf is not None and need is not None
+        assert recv is not None and recv.datatype is not None
+        if zero_copy and not np.may_share_memory(sendbuf, need):
+            send.datatype.copy_into(sendbuf, need, recv.datatype)
+            return
+        if (
+            send.region is None
+            or send.container is None
+            or recv.container is None
+            or rnd.mpi_type is None
+            or send.nbytes <= chunk_bytes
+        ):
+            recv.datatype.unpack(need, send.datatype.pack(sendbuf))
+            return
+        send_pieces = cls._lane_pieces(rnd, send, chunk_bytes)
+        recv_pieces = cls._lane_pieces(rnd, recv, chunk_bytes)
+        for send_type, recv_type in zip(send_pieces, recv_pieces):
+            recv_type.unpack(need, send_type.pack(sendbuf))
+
+    @classmethod
+    def _bounded_round(
+        cls,
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        zero_copy: bool,
+        tag: Optional[int],
+        chunk_bytes: int,
+    ) -> None:
+        """One round lowered into budget-sized pieces (staged sendrecv).
+
+        Peers are walked in offset-ring order (send to ``rank + offset``,
+        receive from ``rank - offset``) and each lane is re-sliced into
+        pieces of at most ``chunk_bytes``.  Per piece: post the receive,
+        eagerly stage the matching send, wait the receive — so at any
+        instant only a bounded handful of pieces is resident instead of the
+        whole round's footprint.
+
+        Deadlock-free by induction on the global ``(offset, piece)`` order:
+        every rank posts its piece-``k`` send (eager — never blocks) before
+        waiting its piece-``k`` receive, and the two ends of a lane derive
+        identical piece counts from the same overlap box and static budget,
+        so the minimal blocked rank's awaited piece has always already been
+        posted.  Pieces of one lane share the round tag; the mailbox is
+        FIFO per (source, tag), so they arrive and match in order.
+        """
+        cls._self_copy_bounded(rnd, sendbuf, need, zero_copy, chunk_bytes)
+
+        if tag is None:
+            tag = rnd.index
+        rank = comm.rank
+        sends_by_peer = {lane.peer: lane for lane in rnd.sends}
+        recvs_by_peer = {lane.peer: lane for lane in rnd.recvs}
+        for offset in range(1, rnd.nprocs):
+            dest = (rank + offset) % rnd.nprocs
+            src = (rank - offset) % rnd.nprocs
+            send_pieces = cls._lane_pieces(rnd, sends_by_peer.get(dest), chunk_bytes)
+            recv_pieces = cls._lane_pieces(rnd, recvs_by_peer.get(src), chunk_bytes)
+            if not send_pieces and not recv_pieces:
+                continue
+            pending_sends: list[Request] = []
+            for k in range(max(len(send_pieces), len(recv_pieces))):
+                recv_request: Optional[Request] = None
+                if k < len(recv_pieces):
+                    assert need is not None
+                    recv_request = comm.Irecv(
+                        need, src, tag=tag, datatype=recv_pieces[k]
+                    )
+                if k < len(send_pieces):
+                    assert sendbuf is not None
+                    pending_sends.append(
+                        comm.Isend(
+                            sendbuf, dest, tag=tag, datatype=send_pieces[k],
+                            rendezvous=False,
+                        )
+                    )
+                if recv_request is not None:
+                    recv_request.Wait()
+            wait_all(pending_sends)
+
+    @classmethod
+    def _run_bounded(
+        cls,
+        comm: Communicator,
+        rnd: RoundSchedule,
+        sendbuf: Optional[np.ndarray],
+        need: Optional[np.ndarray],
+        zero_copy: bool,
+        tag: Optional[int],
+    ) -> None:
+        """Bounded lowering entry point: derive the piece size from the
+        static budget (all ranks agree), trace the lowering, run the round."""
+        limit = MEMORY_BUDGET.limit_bytes
+        chunk_bytes = (
+            chunk_bytes_for(limit) if limit is not None else DEFAULT_BOUNDED_CHUNK_BYTES
+        )
+        if zero_copy:
+            # Nothing is staged on this transport; the direct protocol is
+            # already within any budget the staging model would accept.
+            cls._direct_round(comm, rnd, sendbuf, need, zero_copy, tag)
+            return
+        if not TRACER.enabled:
+            cls._bounded_round(comm, rnd, sendbuf, need, zero_copy, tag, chunk_bytes)
+            return
+        with TRACER.span(
+            "ddr.lowering",
+            rank=comm.rank,
+            round=rnd.index,
+            chunk_bytes=chunk_bytes,
+            nbytes=rnd.bytes_out,
+            bytes_in=rnd.bytes_in,
+            peak_estimate=rnd.lowered_peak_bytes(chunk_bytes),
+        ):
+            cls._bounded_round(comm, rnd, sendbuf, need, zero_copy, tag, chunk_bytes)
+
 
 class AlltoallwEngine(ExchangeEngine):
-    """Dense collective backend: one ``Alltoallw`` per round (paper §III-C)."""
+    """Dense collective backend: one ``Alltoallw`` per round (paper §III-C).
+
+    Strict about memory: with a budget installed, an over-budget round
+    raises the typed ``MemoryBudgetError`` at round entry instead of
+    staging its way toward real OOM.
+    """
 
     name = "alltoallw"
 
     def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
+        self._require_budget(rnd, zero_copy)
         self._collective_round(comm, rnd, sendbuf, need, transport)
 
 
 class P2PEngine(ExchangeEngine):
-    """Direct-send backend (paper §V): only actual partners communicate."""
+    """Direct-send backend (paper §V): only actual partners communicate.
+
+    Strict about memory, like ``AlltoallwEngine``: over-budget rounds
+    raise typed rather than lower.
+    """
 
     name = "p2p"
 
     def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
+        self._require_budget(rnd, zero_copy)
         self._direct_round(comm, rnd, sendbuf, need, zero_copy, tag)
+
+
+class BoundedEngine(ExchangeEngine):
+    """Budget-bounded backend: every staged round runs in lowered pieces.
+
+    Trades extra per-piece handshakes for a staging footprint capped near
+    half the installed budget (arXiv 2112.01075's trade, on this IR): the
+    piece size comes from :func:`~repro.core.schedule.chunk_bytes_for` of
+    the static limit, so all ranks lower identically with no negotiation.
+    Without a budget it lowers with a fixed default piece size — bitwise
+    identical output either way.
+    """
+
+    name = "bounded"
+
+    def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
+        self._run_bounded(comm, rnd, sendbuf, need, zero_copy, tag)
 
 
 class AutoEngine(ExchangeEngine):
@@ -369,21 +621,52 @@ class AutoEngine(ExchangeEngine):
     The decision keys on ``rnd.max_partners`` — the busiest rank's partner
     count for the round, computed from the global plan at setup time — so
     all ranks agree on each round's wire protocol with no negotiation.
+
+    With a memory budget installed the selection widens to a (time,
+    peak-memory) Pareto pick over {alltoallw, p2p, bounded}, priced by the
+    analytic network model: among the candidates whose modeled staging
+    peak fits the budget, the fastest wins; when none fit, the
+    minimum-peak bounded lowering does.  Both inputs (the global per-round
+    statistics and the static limit) are identical on every rank, so the
+    wire protocol still needs no negotiation.
     """
 
     name = "auto"
 
+    @staticmethod
+    def _pick(rnd: RoundSchedule, zero_copy: bool) -> str:
+        limit = MEMORY_BUDGET.limit_bytes
+        if limit is None or zero_copy:
+            return (
+                "alltoallw"
+                if collective_preferred(rnd.max_partners, rnd.nprocs)
+                else "p2p"
+            )
+        # Lazy: netmodel imports core at module level; core.engine must not
+        # return the favour at import time.
+        from ..netmodel.analytic import pareto_round_backend
+        from ..netmodel.cluster import COOLEY
+
+        return pareto_round_backend(
+            COOLEY,
+            nprocs=rnd.nprocs,
+            max_partners=rnd.max_partners,
+            max_round_bytes=round_staging_estimate(rnd, zero_copy),
+            limit_bytes=limit,
+        )
+
     def run_round(self, comm, rnd, sendbuf, need, transport, zero_copy, tag=None) -> None:
-        if collective_preferred(rnd.max_partners, rnd.nprocs):
+        choice = self._pick(rnd, zero_copy)
+        if choice == "bounded":
+            self._run_bounded(comm, rnd, sendbuf, need, zero_copy, tag)
+        elif choice == "alltoallw":
             self._collective_round(comm, rnd, sendbuf, need, transport)
         else:
             self._direct_round(comm, rnd, sendbuf, need, zero_copy, tag)
 
     def round_backend(self, rnd: RoundSchedule) -> str:
         """Per-round choice — the trace shows which protocol auto selected."""
-        if collective_preferred(rnd.max_partners, rnd.nprocs):
-            return "alltoallw"
-        return "p2p"
+        return self._pick(rnd, zero_copy=False)
 
     @staticmethod
     def choices(mapping: LocalMapping) -> list[str]:
@@ -393,7 +676,7 @@ class AutoEngine(ExchangeEngine):
 
 ENGINES: dict[str, ExchangeEngine] = {
     engine.name: engine
-    for engine in (AlltoallwEngine(), P2PEngine(), AutoEngine())
+    for engine in (AlltoallwEngine(), P2PEngine(), AutoEngine(), BoundedEngine())
 }
 
 

@@ -103,6 +103,36 @@ class MappingCache:
             for mapping in entry
         )
 
+    def pool_peak_bytes(self) -> int:
+        """Staging-pool high-water mark summed over the cached mappings.
+
+        Peaks persist across :meth:`~repro.utils.arrays.StagingPool.clear`
+        but die with the mapping, so evicting a layout forgets its peak —
+        this is "peak of what is currently cached", the right denominator
+        for sizing ``DDR_MEM_BUDGET_MB`` against the live working set.
+        """
+        return sum(
+            mapping.pool.peak_bytes
+            for entry in self._entries.values()
+            for mapping in entry
+        )
+
+    def cache_bytes(self) -> int:
+        """User-buffer bytes the mappings' :class:`BufferCache`\\ s pin."""
+        return sum(
+            mapping.buffer_cache.resident_bytes
+            for entry in self._entries.values()
+            for mapping in entry
+        )
+
+    def cache_peak_bytes(self) -> int:
+        """Buffer-cache high-water mark summed over the cached mappings."""
+        return sum(
+            mapping.buffer_cache.peak_bytes
+            for entry in self._entries.values()
+            for mapping in entry
+        )
+
     def stats(self) -> dict:
         return {
             "entries": len(self._entries),
@@ -111,4 +141,7 @@ class MappingCache:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
             "pool_bytes": self.pool_bytes(),
+            "pool_peak_bytes": self.pool_peak_bytes(),
+            "cache_bytes": self.cache_bytes(),
+            "cache_peak_bytes": self.cache_peak_bytes(),
         }

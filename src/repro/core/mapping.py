@@ -29,7 +29,13 @@ from .box import Box
 from .descriptor import DataDescriptor
 from .packing import BufferCache
 from .plan import GlobalPlan, RankPlan, compute_global_plan
-from .schedule import ExchangeSchedule, RoundSchedule, build_schedule, round_max_partners
+from .schedule import (
+    ExchangeSchedule,
+    RoundSchedule,
+    build_schedule,
+    round_max_partners,
+    round_peak_stats,
+)
 from .validate import (
     check_receives_within_domain,
     check_send_coverage,
@@ -148,6 +154,7 @@ def local_mapping_from_global(
         mpi_type=descriptor.mpi_type,
         components=descriptor.components,
         round_max_partners=round_max_partners(global_plan),
+        round_peak_bytes=round_peak_stats(global_plan),
     )
     return LocalMapping(
         rank=rank,
@@ -158,6 +165,7 @@ def local_mapping_from_global(
         domain=domain,
         dtype=descriptor.dtype,
         components=descriptor.components,
+        pool=StagingPool(rank=rank),
     )
 
 

@@ -53,12 +53,17 @@ class BufferCache:
     anything else (lists, scalars) falls through to a full revalidation.
     """
 
-    __slots__ = ("_signature", "_own", "_need")
+    __slots__ = ("_signature", "_own", "_need", "resident_bytes", "peak_bytes")
 
     def __init__(self) -> None:
         self._signature: Optional[tuple] = None
         self._own: list[np.ndarray] = []
         self._need: Optional[np.ndarray] = None
+        #: Bytes of user buffers the cache currently holds strong references
+        #: to, and the high-water mark across the cache's lifetime — the
+        #: observability pair the serving hub exports as gauges.
+        self.resident_bytes: int = 0
+        self.peak_bytes: int = 0
 
     @staticmethod
     def _buffer_key(buf) -> Optional[tuple]:
@@ -101,12 +106,18 @@ class BufferCache:
         self._signature = signature
         self._own = own
         self._need = need
+        self.resident_bytes = sum(buf.nbytes for buf in own) + (
+            need.nbytes if need is not None else 0
+        )
+        if self.resident_bytes > self.peak_bytes:
+            self.peak_bytes = self.resident_bytes
 
     def clear(self) -> None:
         """Drop the cached buffer set (e.g. when its mapping is invalidated)."""
         self._signature = None
         self._own = []
         self._need = None
+        self.resident_bytes = 0
 
 
 def check_buffers_cached(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..mpisim.datatypes import NamedType, SubarrayType
+from .box import Box
 from .packing import subarray_for
 from .plan import GlobalPlan, RankPlan
 
@@ -36,6 +37,37 @@ from .plan import GlobalPlan, RankPlan
 #: ranks is considered dense: the O(P) collective amortises better than
 #: per-message handshakes.  Below it, direct sends win (paper §V).
 AUTO_DENSITY_THRESHOLD = 0.5
+
+#: Staging transports (packed payload copies / pooled shm segments) whose
+#: round peak is modeled as every send payload plus every in-flight recv
+#: payload; ``zerocopy`` stages nothing and peaks at the self-copy temp.
+STAGED_TRANSPORTS = ("packed", "shm")
+
+#: Pieces resident at once per lowered sub-step of the bounded engine: the
+#: eagerly staged outgoing piece, the in-flight incoming piece, and the
+#: pack/unpack temporaries on either side of them.
+PIECE_INFLIGHT = 4
+
+#: Lower bound on the bounded engine's piece size.  Below this, per-message
+#: latency dominates any memory saved, and the piece count per lane stays
+#: sane even under absurd budgets.
+MIN_CHUNK_BYTES = 64 * 1024
+
+#: Piece size the bounded engine lowers with when no budget is installed
+#: (running it explicitly is then a pure lane-chunking ablation).
+DEFAULT_BOUNDED_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def chunk_bytes_for(limit_bytes: int) -> int:
+    """Piece size the bounded engine lowers with under ``limit_bytes``.
+
+    Targets a lowered peak near half the limit (``PIECE_INFLIGHT`` resident
+    pieces, times two for slack against estimate error), floored at
+    :data:`MIN_CHUNK_BYTES`.  A pure function of the *static* limit — both
+    ends of every lane derive the same piece decomposition from it with no
+    communication.
+    """
+    return max(MIN_CHUNK_BYTES, int(limit_bytes) // (2 * PIECE_INFLIGHT))
 
 
 def collective_preferred(
@@ -57,12 +89,16 @@ class Lane:
 
     ``datatype`` selects the moved cells out of the owning buffer (send
     lanes: the chunk buffer; recv lanes: the need buffer).  It is ``None``
-    for schedules built purely for cost modeling.
+    for schedules built purely for cost modeling.  ``container``/``region``
+    keep the geometry the datatype was built from, so the bounded engine
+    can re-slice the lane into budget-sized pieces without replanning.
     """
 
     peer: int
     nbytes: int
     datatype: Optional[SubarrayType] = None
+    container: Optional[Box] = None
+    region: Optional[Box] = None
 
 
 @dataclass
@@ -84,6 +120,15 @@ class RoundSchedule:
     #: Busiest rank's partner count this round, across the *whole* plan
     #: (0 when the schedule was built without global context).
     max_partners: int = 0
+    #: Busiest rank's estimated staged-transport peak this round, across the
+    #: *whole* plan (0 without global context).  Like ``max_partners`` this
+    #: is identical on every rank, so budget-driven lowering decisions need
+    #: no communication.
+    max_round_bytes: int = 0
+    #: Geometry context for peak estimates and bounded lowering.
+    element_size: int = 1
+    components: int = 1
+    mpi_type: Optional[NamedType] = field(default=None, repr=False)
     # Dense per-peer tables for the Alltoallw collective, built lazily and
     # cached: the repeated-exchange hot path must not rebuild them per call.
     _sendtypes: Optional[list[Optional[SubarrayType]]] = field(
@@ -92,6 +137,10 @@ class RoundSchedule:
     _recvtypes: Optional[list[Optional[SubarrayType]]] = field(
         default=None, init=False, repr=False
     )
+    # Piece datatypes the bounded engine slices lanes into, keyed by
+    # (container, region, chunk_bytes); cached for the same reason as the
+    # dense tables — repeated exchanges must not rebuild subarray types.
+    _piece_cache: dict = field(default_factory=dict, init=False, repr=False)
 
     # -- sparsity statistics -------------------------------------------------
 
@@ -124,6 +173,54 @@ class RoundSchedule:
     def message_count(self) -> int:
         """Messages a direct-send engine posts for this round."""
         return len(self.sends)
+
+    # -- peak-memory accounting ----------------------------------------------
+
+    @property
+    def largest_lane_bytes(self) -> int:
+        """Largest single transfer this round (self-copy included)."""
+        largest = max(
+            (lane.nbytes for lane in self.sends), default=0
+        )
+        largest = max(largest, max((lane.nbytes for lane in self.recvs), default=0))
+        return max(largest, self.self_bytes)
+
+    def peak_bytes(self, transport: str = "packed") -> int:
+        """Estimated per-rank staging high-water mark for this round.
+
+        Staged transports (``packed``, ``shm``) copy every outgoing lane
+        into a dense payload and hold every incoming payload until it is
+        unpacked, so the worst instant is all sends staged while all recvs
+        have arrived unconsumed — plus the self-transfer's packed payload,
+        which exists once (posted to and drained from this rank's own
+        mailbox).  ``zerocopy`` stages nothing; only the self-copy may
+        materialise a pack temporary.  User buffers are never counted:
+        the budget governs library staging, not the data itself.
+        """
+        if transport not in STAGED_TRANSPORTS:
+            return self.self_bytes
+        return self.bytes_out + self.bytes_in + self.self_bytes
+
+    def lowered_peak_bytes(
+        self, chunk_bytes: int, transport: str = "packed"
+    ) -> int:
+        """Estimated staging peak when the bounded engine runs this round
+        in pieces of at most ``chunk_bytes``.
+
+        At any lowered sub-step only :data:`PIECE_INFLIGHT` pieces are
+        resident, so the peak is capped near ``PIECE_INFLIGHT * piece``
+        where ``piece`` cannot exceed the largest lane.  Monotone
+        non-decreasing in ``chunk_bytes`` and never above the unlowered
+        :meth:`peak_bytes` — shrinking the budget's derived chunk can only
+        shrink the footprint.
+        """
+        full = self.peak_bytes(transport)
+        if chunk_bytes <= 0:
+            return full
+        largest = self.largest_lane_bytes
+        if largest == 0:
+            return 0
+        return min(full, PIECE_INFLIGHT * min(int(chunk_bytes), largest))
 
     # -- dense tables for the collective engine ------------------------------
 
@@ -176,6 +273,12 @@ class ExchangeSchedule:
     def message_count(self) -> int:
         return sum(r.message_count for r in self.rounds)
 
+    def peak_bytes(self, transport: str = "packed") -> int:
+        """Estimated per-rank staging peak across the exchange: rounds are
+        sequential (each is drained before the next begins), so the
+        schedule peak is the worst round, not the sum."""
+        return max((r.peak_bytes(transport) for r in self.rounds), default=0)
+
     def engine_choices(
         self, threshold: float = AUTO_DENSITY_THRESHOLD
     ) -> list[str]:
@@ -196,6 +299,7 @@ def build_schedule(
     mpi_type: Optional[NamedType] = None,
     components: int = 1,
     round_max_partners: Optional[Sequence[int]] = None,
+    round_peak_bytes: Optional[Sequence[int]] = None,
 ) -> ExchangeSchedule:
     """Lower one rank's plan slice into the exchange IR.
 
@@ -203,9 +307,10 @@ def build_schedule(
     (the execution form — the paper's "setup once, reorganize repeatedly"
     property hinges on this happening exactly once).  Without it the lanes
     carry byte volumes only (the cost-model form).  ``round_max_partners``
-    injects the global per-round sparsity statistic; pass it whenever the
-    full :class:`~repro.core.plan.GlobalPlan` is in hand so ``AutoEngine``
-    and the cost models share the same selection inputs.
+    and ``round_peak_bytes`` inject the global per-round sparsity and
+    peak-staging statistics; pass them whenever the full
+    :class:`~repro.core.plan.GlobalPlan` is in hand so ``AutoEngine``, the
+    memory budget, and the cost models share the same selection inputs.
     """
     rounds: list[RoundSchedule] = []
     for round_index in range(nrounds):
@@ -221,6 +326,14 @@ def build_schedule(
                 if round_max_partners is not None
                 else 0
             ),
+            max_round_bytes=(
+                int(round_peak_bytes[round_index])
+                if round_peak_bytes is not None
+                else 0
+            ),
+            element_size=element_size,
+            components=components,
+            mpi_type=mpi_type,
         )
         for entry in plan.sends_in_round(round_index):
             datatype = (
@@ -228,7 +341,13 @@ def build_schedule(
                 if mpi_type is not None
                 else None
             )
-            lane = Lane(entry.dest, entry.overlap.volume() * element_size, datatype)
+            lane = Lane(
+                entry.dest,
+                entry.overlap.volume() * element_size,
+                datatype,
+                container=entry.chunk,
+                region=entry.overlap,
+            )
             if entry.dest == plan.rank:
                 rnd.self_send = lane
             else:
@@ -239,7 +358,13 @@ def build_schedule(
                 datatype = subarray_for(plan.need, entry.overlap, mpi_type, components)
             else:
                 datatype = None
-            lane = Lane(entry.source, entry.overlap.volume() * element_size, datatype)
+            lane = Lane(
+                entry.source,
+                entry.overlap.volume() * element_size,
+                datatype,
+                container=plan.need,
+                region=entry.overlap,
+            )
             if entry.source == plan.rank:
                 rnd.self_recv = lane
             else:
@@ -278,6 +403,32 @@ def round_max_partners(global_plan: GlobalPlan) -> list[int]:
     return out
 
 
+def round_peak_stats(global_plan: GlobalPlan) -> list[int]:
+    """Per round, the busiest rank's estimated staged-transport peak.
+
+    The staged model from :meth:`RoundSchedule.peak_bytes` — all send
+    payloads plus all in-flight recv payloads plus the self payload once —
+    evaluated for every rank from the deterministic global plan, worst rank
+    kept.  Every rank computes identical values, so budget comparisons
+    (round fits / round must lower, and with what piece size) are wire
+    decisions all ranks agree on without communicating.
+    """
+    element_size = global_plan.element_size
+    out: list[int] = []
+    for round_index in range(global_plan.nrounds):
+        worst = 0
+        for plan in global_plan.rank_plans:
+            total = 0
+            for entry in plan.sends_in_round(round_index):
+                total += entry.overlap.volume() * element_size
+            for entry in plan.recvs_in_round(round_index):
+                if entry.source != plan.rank:
+                    total += entry.overlap.volume() * element_size
+            worst = max(worst, total)
+        out.append(worst)
+    return out
+
+
 def global_schedules(global_plan: GlobalPlan) -> list[ExchangeSchedule]:
     """Datatype-free schedules for every rank (the cost-model view).
 
@@ -285,6 +436,7 @@ def global_schedules(global_plan: GlobalPlan) -> list[ExchangeSchedule]:
     entries; building all ranks here is one linear pass over the plan.
     """
     stats = round_max_partners(global_plan)
+    peaks = round_peak_stats(global_plan)
     return [
         build_schedule(
             plan,
@@ -292,6 +444,7 @@ def global_schedules(global_plan: GlobalPlan) -> list[ExchangeSchedule]:
             global_plan.nrounds,
             global_plan.element_size,
             round_max_partners=stats,
+            round_peak_bytes=peaks,
         )
         for plan in global_plan.rank_plans
     ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from functools import partial
 
@@ -38,6 +39,7 @@ from ..mpisim.comm import TRANSPORT_PACKED, TRANSPORT_SHM, TRANSPORT_ZEROCOPY, C
 from ..mpisim.errors import MpiSimError, RankCrashError
 from ..mpisim.executor import RankFailure, SpmdHangError, run_spmd
 from ..resilience import ResilientRedistributor
+from ..utils.membudget import MEMORY_BUDGET, budget_scope
 from ..volren.decompose import grid_boxes, grid_shape
 from .injector import FAULTS, fault_plan
 from .plan import FaultPlan
@@ -47,6 +49,30 @@ __all__ = ["ChaosReport", "ChaosRun", "run_chaos"]
 
 BACKENDS = ("alltoallw", "p2p", "auto")
 TRANSPORTS = (TRANSPORT_PACKED, TRANSPORT_ZEROCOPY)
+
+#: Memory-chaos backends: the strict engines (which must surface a typed
+#: ``MemoryBudgetError`` when a round cannot fit) plus the two that keep
+#: going under pressure (``bounded`` lowers rounds, ``auto`` picks per
+#: round on the time/peak Pareto frontier).
+MEMORY_BACKENDS = ("alltoallw", "p2p", "auto", "bounded")
+
+#: Memory-chaos combos: thread executor + staged transport only.  The
+#: budget ledger lives in this process, and only staged payloads consume
+#: budgeted staging memory (zero-copy rounds stage nothing).
+MEMORY_COMBOS = (("thread", TRANSPORT_PACKED),)
+
+#: Memory-chaos field: big enough that lanes exceed the bounded engine's
+#: 64 KiB minimum piece size, so tight budgets actually force sub-round
+#: lowering rather than only ledger checks.
+MEMORY_NX, MEMORY_NY = 256, 128
+
+#: Budgets sweep from the full measured unbounded peak down to this
+#: fraction of it as the run index advances — the "shrinking budget" axis.
+MEMORY_MIN_FRACTION = 0.15
+
+#: Probe limit (effectively unbounded) used to *measure* each workload's
+#: staging peak before the sweep applies pressure.
+PROBE_BUDGET_MB = 1024
 
 #: executor × transport combinations the plain-exchange sweep cycles
 #: through.  The process executor runs the shm transport (its only bulk
@@ -105,6 +131,8 @@ class ChaosRun:
     error: str = ""  # exception type (and message head) when not OK
     injected: int = 0  # faults the plan actually fired
     duration_s: float = 0.0
+    budget_bytes: int = 0  # staging budget applied (0 = unbudgeted run)
+    peak_bytes: int = 0  # measured staging peak under that budget
     stats: dict = field(default_factory=dict)  # fault-layer counter snapshot
 
     @property
@@ -417,6 +445,21 @@ def _pipeline_worker(comm: Communicator, config: PipelineConfig):
             f"messages after a {config.frame_drop!r} pipeline run "
             f"(bound {bound}); abandoned frames are not being purged"
         )
+    if MEMORY_BUDGET.active:
+        # Staging-budget counterpart of the mailbox bound: every frame this
+        # rank staged must have been released by delivery or by the
+        # abandoned-frame purge, except charges still held by the straggler
+        # allowance above (one full-field frame per allowed message).
+        world = comm.world_rank_of(comm.rank)
+        resident = MEMORY_BUDGET.used_bytes(world)
+        frame_bytes = config.lbm.nx * config.lbm.ny * np.dtype(np.float64).itemsize
+        if resident > bound * frame_bytes:
+            raise ChaosVerificationError(
+                f"staging leak: rank {comm.rank} still holds {resident} "
+                f"budgeted bytes after a {config.frame_drop!r} pipeline run "
+                f"(bound {bound * frame_bytes}); abandoned-frame staging is "
+                f"not being released"
+            )
     return result
 
 
@@ -470,6 +513,48 @@ def _crash_plan(plan_seed: int, nranks: int, ops: int, window: int) -> FaultPlan
 # -- the sweep ----------------------------------------------------------------
 
 
+def _memory_peaks(nprocs: int) -> dict[str, int]:
+    """Measure each memory-chaos workload's unbounded staging peak.
+
+    One clean (fault-free) probe run per workload under an effectively
+    infinite budget: the ledger tracks without ever binding, and its
+    high-water mark is the peak the shrinking sweep budgets against.
+    """
+    from ..core.plan import compute_global_plan
+    from ..core.schedule import global_schedules
+
+    peaks: dict[str, int] = {}
+    with budget_scope(limit_mb=PROBE_BUDGET_MB):
+        run_spmd(
+            nprocs, _exchange_worker, MEMORY_NX, MEMORY_NY,
+            "alltoallw", TRANSPORT_PACKED, 3,
+        )
+        measured = MEMORY_BUDGET.peak_bytes()
+    # The strict engines guard on the schedule's *conservative* per-round
+    # estimate (sends staged + receives in flight at once), which the
+    # timing-dependent measured peak undercuts; budget against the larger
+    # of the two so the full-fraction runs admit every backend.
+    shape = (MEMORY_NX, MEMORY_NY)
+    tiles = grid_boxes(shape, grid_shape(nprocs, shape))
+    plan = compute_global_plan(
+        [[slab_box(MEMORY_NX, MEMORY_NY, nprocs, r)] for r in range(nprocs)],
+        [tiles[r] for r in range(nprocs)],
+        element_size=4,
+    )
+    estimated = max(
+        (rnd.max_round_bytes for s in global_schedules(plan) for rnd in s.rounds),
+        default=0,
+    )
+    peaks["redistribute"] = max(measured, estimated)
+    config = _pipeline_config("alltoallw", "skip")
+    with budget_scope(limit_mb=PROBE_BUDGET_MB):
+        run_spmd(config.m + config.n, _pipeline_worker, config)
+        # Frame staging is concurrent and timing-dependent; double the
+        # probe's high-water mark so the full-fraction runs have headroom.
+        peaks["pipeline"] = 2 * MEMORY_BUDGET.peak_bytes()
+    return peaks
+
+
 def _classify_failure(exc: BaseException) -> tuple[str, str]:
     """Map an escaped exception to (outcome, description)."""
     original = exc.original if isinstance(exc, RankFailure) else exc
@@ -492,6 +577,7 @@ def run_chaos(
     log=None,
     crashes: bool = False,
     resizes: bool = False,
+    memory: bool = False,
 ) -> ChaosReport:
     """Sweep ``runs`` randomized fault schedules; see the module docstring.
 
@@ -515,16 +601,32 @@ def run_chaos(
     :meth:`ResilientRedistributor.resize`, plus elastic
     (``on_load="resize"``) pipeline runs.  Every generation — and every
     migrated slab — must be bitwise-correct or surface a typed error.
+
+    With ``memory=True`` every run executes under a staging
+    :class:`~repro.utils.membudget.MemoryBudget` that shrinks from each
+    workload's measured unbounded peak (a fault-free probe run) down to
+    :data:`MEMORY_MIN_FRACTION` of it across the sweep, the plans draw
+    self-healing families plus seeded ``alloc`` faults, and the backend
+    cycle adds ``bounded``.  Acceptable endings are bitwise-correct output
+    (the bounded/auto engines lowered their rounds under the budget),
+    degraded-by-policy frames, or a typed ``MemoryBudgetError`` from a
+    strict engine — never an OOM kill or a hang.
     """
     if nprocs < 2:
         raise ValueError(f"chaos needs nprocs >= 2, got {nprocs}")
-    if crashes and resizes:
-        raise ValueError("crashes and resizes modes are mutually exclusive")
+    if sum((crashes, resizes, memory)) > 1:
+        raise ValueError("crashes, resizes, and memory modes are mutually exclusive")
+    peaks = _memory_peaks(nprocs) if memory else {}
     report = ChaosReport()
     for index in range(runs):
         plan_seed = seed + index
         backend = BACKENDS[index % len(BACKENDS)]
         executor, transport = COMBOS[(index // len(BACKENDS)) % len(COMBOS)]
+        if memory:
+            backend = MEMORY_BACKENDS[index % len(MEMORY_BACKENDS)]
+            executor, transport = MEMORY_COMBOS[
+                (index // len(MEMORY_BACKENDS)) % len(MEMORY_COMBOS)
+            ]
         if resizes:
             executor, transport = RESIZE_COMBOS[
                 (index // len(BACKENDS)) % len(RESIZE_COMBOS)
@@ -562,13 +664,31 @@ def run_chaos(
                 plan_seed, nprocs, ops=ops,
                 allow_crash=False, allow_drop=False,
             )
+        elif memory:
+            plan = FaultPlan.random(
+                plan_seed, world_size, ops=ops,
+                allow_crash=False, allow_drop=False, allow_alloc=True,
+            )
         else:
             plan = FaultPlan.random(plan_seed, nprocs, ops=ops)
+        budget_bytes = 0
+        if memory:
+            # The shrinking axis: full measured peak on run 0 down to
+            # MEMORY_MIN_FRACTION of it on the last run.
+            frac = 1.0 - (1.0 - MEMORY_MIN_FRACTION) * (index / max(1, runs - 1))
+            workload_peak = peaks["pipeline" if is_pipeline else "redistribute"]
+            budget_bytes = max(4096, int(workload_peak * frac))
+        nx, ny = (MEMORY_NX, MEMORY_NY) if memory else (16, 8)
         outcome, error, injected = OK, "", 0
+        run_peak = 0
         stats: dict = {}
         started = time.perf_counter()
         try:
-            with fault_plan(plan, CHAOS_POLICY):
+            with fault_plan(plan, CHAOS_POLICY), (
+                budget_scope(limit_bytes=budget_bytes)
+                if budget_bytes
+                else nullcontext()
+            ):
                 try:
                     if is_pipeline:
                         results = run_spmd(
@@ -614,8 +734,8 @@ def run_chaos(
                         run_spmd(
                             nprocs,
                             _exchange_worker,
-                            16,
-                            8,
+                            nx,
+                            ny,
                             backend,
                             transport,
                             3,
@@ -625,6 +745,8 @@ def run_chaos(
                 finally:
                     injected = FAULTS.stats.total_injected()
                     stats = FAULTS.stats.snapshot()
+                    if budget_bytes:
+                        run_peak = MEMORY_BUDGET.peak_bytes()
         except (RankFailure, SpmdHangError, MpiSimError) as exc:
             outcome, error = _classify_failure(exc)
         except Exception as exc:  # noqa: BLE001 - bare exceptions fail the run
@@ -644,6 +766,8 @@ def run_chaos(
             error=error,
             injected=injected,
             duration_s=time.perf_counter() - started,
+            budget_bytes=budget_bytes,
+            peak_bytes=run_peak,
             stats=stats,
         )
         report.runs.append(run)
@@ -653,6 +777,7 @@ def run_chaos(
                 f"[{mark}] run {index:3d} seed {plan_seed} "
                 f"{run.workload:<12} {backend:<9} {executor:<7} {transport:<8} "
                 f"{outcome:<11} inj={injected:<3d} {run.duration_s:.2f}s"
+                + (f" bud={budget_bytes} peak={run_peak}" if budget_bytes else "")
                 + (f"  {error}" if error else "")
             )
     return report

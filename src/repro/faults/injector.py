@@ -90,7 +90,7 @@ class FaultStats:
         return sum(
             n for name, n in snap.items()
             if name in ("delays", "drops", "transient_send", "transient_recv",
-                        "corruptions", "round_faults", "crashes")
+                        "corruptions", "round_faults", "crashes", "alloc_faults")
         )
 
     def __repr__(self) -> str:
@@ -111,6 +111,9 @@ class FaultLayer:
         # thread and only touches its own key, so plain dicts are safe.
         self._ops: dict[int, int] = {}
         self._drops: dict[int, int] = {}
+        # Staging allocations keep a separate per-rank sequence so memory
+        # chaos never shifts the op indices scripted transport faults target.
+        self._allocs: dict[int, int] = {}
         #: Ranks this layer has killed with ``RankCrashError`` (read by
         #: ``SpmdHangError`` diagnostics to report them as crashed, not stuck).
         self._crashed: set[int] = set()
@@ -127,6 +130,7 @@ class FaultLayer:
         self.stats = FaultStats()
         self._ops = {}
         self._drops = {}
+        self._allocs = {}
         self._crashed = set()
         self.pending_retries = {}
         self.active = True
@@ -282,6 +286,49 @@ class FaultLayer:
             f"CRC32 check and no retransmission is available "
             f"(policy.corruption={self.policy.corruption!r})"
         )
+
+    def on_alloc(self, rank: int, nbytes: int) -> None:
+        """Consult the plan before a staging allocation (memory pressure).
+
+        A scheduled failure below the retry budget is healed in place with
+        the policy's exponential backoff — modeling an allocator that
+        succeeds once transient pressure drains.  Past the budget it
+        escalates to a typed
+        :class:`~repro.mpisim.errors.MemoryBudgetError`, the same error
+        the ledger raises, so callers see one vocabulary for "the staging
+        memory is not there".
+        """
+        assert self.plan is not None
+        op = self._allocs.get(rank, 0)
+        self._allocs[rank] = op + 1
+        failures = self.plan.alloc_failures(rank, op)
+        if not failures:
+            return
+        self.stats.incr("alloc_faults", failures)
+        allowed = 1 + self.policy.max_retries
+        if failures >= allowed:
+            self.stats.incr("retries", allowed - 1)
+            self.stats.incr("retries_exhausted")
+            raise _errors().MemoryBudgetError(
+                f"rank {rank} staging allocation {op} ({nbytes} bytes): "
+                f"{failures} consecutive allocation failures exceed the "
+                f"retry budget ({self.policy.max_retries})"
+            )
+        self.pending_retries[rank] = f"alloc op {op} ({failures} attempt(s))"
+        try:
+            for attempt in range(1, failures + 1):
+                self.stats.incr("retries")
+                backoff = self.policy.backoff_s(attempt)
+                if TRACER.enabled:
+                    with TRACER.span(
+                        "fault.alloc", rank=rank, op=op,
+                        nbytes=nbytes, attempt=attempt, backoff_s=backoff,
+                    ):
+                        time.sleep(backoff)
+                else:
+                    time.sleep(backoff)
+        finally:
+            self.pending_retries.pop(rank, None)
 
     def on_round_start(self, rank: int, round_index: int, attempt: int) -> None:
         """Engine hook: fail round entry ``attempt`` (0-based) if scheduled.

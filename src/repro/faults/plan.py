@@ -37,9 +37,11 @@ KIND_RECV = "recv"  # transient recv failure
 KIND_CORRUPT = "corrupt"
 KIND_ROUND = "round"  # exchange-round entry failure
 KIND_CRASH = "crash"
+KIND_ALLOC = "alloc"  # staging-allocation failure (memory pressure)
 
 FAULT_KINDS = (
     KIND_DELAY, KIND_DROP, KIND_SEND, KIND_RECV, KIND_CORRUPT, KIND_ROUND, KIND_CRASH,
+    KIND_ALLOC,
 )
 
 
@@ -100,6 +102,7 @@ class FaultPlan:
     p_transient_recv: float = 0.0
     p_corrupt: float = 0.0
     p_round: float = 0.0
+    p_alloc: float = 0.0
     crash_rank: Optional[int] = None
     crash_at_op: Optional[int] = None
     events: tuple[FaultSpec, ...] = field(default_factory=tuple)
@@ -108,7 +111,7 @@ class FaultPlan:
         if self.nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {self.nranks}")
         for name in ("p_delay", "p_drop", "p_transient_send",
-                     "p_transient_recv", "p_corrupt", "p_round"):
+                     "p_transient_recv", "p_corrupt", "p_round", "p_alloc"):
             value = getattr(self, name)
             if not (0.0 <= value <= 1.0):
                 raise ValueError(f"{name} must be a probability, got {value}")
@@ -184,6 +187,23 @@ class FaultPlan:
                 return 1 + (1 if rng.random() < 0.25 else 0)
         return 0
 
+    def alloc_failures(self, rank: int, op: int) -> int:
+        """Failing attempts before staging allocation ``op`` succeeds.
+
+        ``op`` here is the rank's *allocation* counter, not its transport
+        op counter — staging allocations keep their own sequence so adding
+        memory chaos never perturbs the op indices existing scripted plans
+        target.
+        """
+        spec = self._scripted(KIND_ALLOC, rank, op, None)
+        if spec is not None:
+            return spec.count
+        if self.p_alloc and op < self.ops:
+            rng = self._rng(KIND_ALLOC, rank, op)
+            if rng.random() < self.p_alloc:
+                return 1 + (1 if rng.random() < 0.25 else 0)
+        return 0
+
     def crashes(self, rank: int, op: int) -> bool:
         """Whether ``rank`` dies at operation ``op`` (inclusive threshold)."""
         if self.crash_rank is not None and rank == self.crash_rank:
@@ -201,6 +221,7 @@ class FaultPlan:
         ops: int = 200,
         allow_crash: bool = True,
         allow_drop: bool = True,
+        allow_alloc: bool = False,
     ) -> "FaultPlan":
         """A randomized-but-reproducible plan for chaos runs.
 
@@ -226,13 +247,18 @@ class FaultPlan:
         if allow_crash and meta.random() < 0.2:
             kwargs["crash_rank"] = meta.randrange(nranks)
             kwargs["crash_at_op"] = meta.randrange(1, max(2, ops))
+        # Appended after every prior draw so plans generated without
+        # ``allow_alloc`` stay bit-identical to their pre-memory-chaos
+        # selves (same seed, same schedule).
+        if allow_alloc and meta.random() < 0.6:
+            kwargs["p_alloc"] = meta.uniform(0.01, 0.1)
         return cls(seed=seed, nranks=nranks, ops=ops, **kwargs)
 
     def summary(self) -> str:
         """One line naming the active fault families (for diagnostics)."""
         parts = [f"seed={self.seed}", f"ops={self.ops}"]
         for name in ("p_delay", "p_drop", "p_transient_send",
-                     "p_transient_recv", "p_corrupt", "p_round"):
+                     "p_transient_recv", "p_corrupt", "p_round", "p_alloc"):
             value = getattr(self, name)
             if value:
                 parts.append(f"{name}={value:.3f}")

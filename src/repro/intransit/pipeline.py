@@ -191,10 +191,10 @@ class PipelineConfig:
             raise ValueError(
                 "reliability must be a ReliabilityPolicy or None"
             )
-        if self.backend not in (None, "alltoallw", "p2p", "auto"):
+        if self.backend not in (None, "alltoallw", "p2p", "auto", "bounded"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose 'alltoallw', 'p2p', "
-                "'auto', or None for the process default"
+                "'auto', 'bounded', or None for the process default"
             )
         if self.steps % self.output_every != 0:
             raise ValueError(

@@ -253,6 +253,12 @@ class StreamReceiver:
                         request.wait()
                 for _, rank in pending:
                     self._abandoned[(rank, tag)] = None
+                # Drain immediately: a straggler that landed between the
+                # last test and the deadline is already holding staged
+                # bytes (and a budget charge); releasing it now — instead
+                # of on the *next* receive — keeps degraded-mode resident
+                # staging bounded by the truly in-flight slabs.
+                self.purge_abandoned()
                 return None
             time.sleep(0.001)
         for request in requests:

@@ -50,6 +50,7 @@ import numpy as np
 
 from ..faults.injector import FAULTS
 from ..obs.tracer import TRACER
+from ..utils.membudget import MEMORY_BUDGET
 from ..utils.timing import TRANSFER_COUNTERS
 from .datatypes import Datatype, named_type_for
 from .errors import (
@@ -211,6 +212,11 @@ class _Message:
     # sender's retained pristine payload, the verify-and-reretrieve source.
     checksum: Optional[int] = None
     pristine: Any = None
+    # Staging-budget charge carried by the message: bytes reserved against
+    # ``budget_rank``'s ledger when the payload was staged, released by
+    # whoever drains the message (deliver, purge, or error path).
+    budget_rank: Optional[int] = None
+    budget_bytes: int = 0
 
 
 class Fabric:
@@ -740,13 +746,29 @@ def _receive_shm(buf: np.ndarray, datatype: Optional[Datatype], ticket: ShmTicke
         segment.mark_drained()
 
 
+def _release_budget(message: "_Message") -> None:
+    """Return a message's staging-budget charge to its sender's ledger.
+
+    Idempotent (the charge is zeroed once released) so deliver-then-error
+    paths cannot double-credit, and runs on every drain outcome — success,
+    truncation, purge — matching the always-release contract the transport
+    keeps for rendezvous handles and shm segments.
+    """
+    if message.budget_bytes:
+        MEMORY_BUDGET.release(message.budget_bytes, rank=message.budget_rank)
+        message.budget_bytes = 0
+
+
 def _receive_payload(buf: np.ndarray, datatype: Optional[Datatype], message: "_Message") -> int:
     """Unified typed receive: staged payloads, shm tickets, and rendezvous."""
-    if isinstance(message.payload, _ZeroCopyHandle):
-        return _receive_rendezvous(buf, datatype, message.payload)
-    if isinstance(message.payload, ShmTicket):
-        return _receive_shm(buf, datatype, message.payload)
-    return _payload_into(buf, datatype, message.payload)
+    try:
+        if isinstance(message.payload, _ZeroCopyHandle):
+            return _receive_rendezvous(buf, datatype, message.payload)
+        if isinstance(message.payload, ShmTicket):
+            return _receive_shm(buf, datatype, message.payload)
+        return _payload_into(buf, datatype, message.payload)
+    finally:
+        _release_budget(message)
 
 
 def _discard_payload(payload: Any) -> None:
@@ -1014,6 +1036,36 @@ class Communicator:
         arr = np.asarray(buf)
         return int(arr.size) * arr.dtype.itemsize
 
+    # -- staging-budget hooks -------------------------------------------------
+
+    def _charge_staging(self, nbytes: int, what: str) -> int:
+        """Alloc-fault hook plus predictive budget reserve for one staged
+        buffer.
+
+        Runs *before* the allocation, so an over-budget staging surfaces
+        as a typed :class:`~repro.mpisim.errors.MemoryBudgetError` rather
+        than an ambient ``MemoryError`` mid-pack.  Returns the bytes
+        actually reserved (0 when no budget is active) for the message to
+        carry to its release site.
+        """
+        world = self._world_ranks[self._rank]
+        if FAULTS.active:
+            FAULTS.on_alloc(world, nbytes)
+        if MEMORY_BUDGET.active:
+            MEMORY_BUDGET.reserve(nbytes, what, rank=world)
+            return nbytes
+        return 0
+
+    def _staged_message(
+        self, tag: int, internal: bool, payload: Any, charged: int
+    ) -> _Message:
+        """Wrap a staged payload, carrying its budget charge for release."""
+        message = _Message(self._rank, tag, internal, payload)
+        if charged:
+            message.budget_rank = self._world_ranks[self._rank]
+            message.budget_bytes = charged
+        return message
+
     # -- point to point -------------------------------------------------------
 
     def Send(
@@ -1041,18 +1093,22 @@ class Communicator:
         if tag < 0:
             raise CommunicatorError(f"user tags must be >= 0, got {tag}")
         if self.resolve_transport() == TRANSPORT_SHM:
-            ticket = self._stage_shm(buf, datatype)
-            if ticket is not None:
-                self._post(dest, _Message(self._rank, tag, False, ticket))
+            staged = self._stage_shm(buf, datatype)
+            if staged is not None:
+                ticket, charged = staged
+                self._post(dest, self._staged_message(tag, False, ticket, charged))
                 return
+        nbytes = self._nbytes_of(buf, datatype)
+        charged = self._charge_staging(nbytes, "packed payload")
         payload = _payload_from(buf, datatype)
-        self._post(dest, _Message(self._rank, tag, False, payload))
+        self._post(dest, self._staged_message(tag, False, payload, charged))
 
     def _stage_shm(
         self, buf: np.ndarray, datatype: Optional[Datatype]
-    ) -> Optional[ShmTicket]:
+    ) -> Optional[tuple[ShmTicket, int]]:
         """Pack ``buf`` into a pooled shm segment; ``None`` below threshold
-        (tiny messages travel faster as pickled payloads)."""
+        (tiny messages travel faster as pickled payloads).  Returns the
+        ticket plus the bytes charged against the staging budget."""
         arr = np.asarray(buf)
         if datatype is not None:
             count = datatype.size_elements()
@@ -1061,6 +1117,7 @@ class Communicator:
         nbytes = count * arr.dtype.itemsize
         if nbytes < SHM_MIN_BYTES:
             return None
+        charged = self._charge_staging(nbytes, "shm staging")
         segment = self.fabric.shm_pool().acquire(nbytes)
         view = segment.view(arr.dtype, count)
         if datatype is not None:
@@ -1071,7 +1128,7 @@ class Communicator:
             view[:] = arr.reshape(-1)
         if TRANSFER_COUNTERS.enabled:
             TRANSFER_COUNTERS.count_copy("payload", nbytes)
-        return ShmTicket(segment.name, arr.dtype.str, count, segment=segment)
+        return ShmTicket(segment.name, arr.dtype.str, count, segment=segment), charged
 
     def Isend(
         self,
@@ -1274,6 +1331,7 @@ class Communicator:
             if found is None:
                 return purged
             _discard_payload(found.payload)
+            _release_budget(found)
             purged += 1
 
     # lowercase (object) p2p ---------------------------------------------------
@@ -1284,6 +1342,7 @@ class Communicator:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         message = self._consume(self._match(source, tag, internal=False), source)
+        _release_budget(message)
         payload = message.payload
         if isinstance(payload, _ZeroCopyHandle):
             # A rendezvous (uppercase) send drained by the object API:
@@ -1692,11 +1751,16 @@ class Communicator:
                 self._post(dest, _Message(self._rank, tag, True, handle))
                 continue
             if shm_mode:
-                ticket = self._stage_shm(sendbuf, datatype)
-                if ticket is not None:
-                    self._post(dest, _Message(self._rank, tag, True, ticket))
+                staged = self._stage_shm(sendbuf, datatype)
+                if staged is not None:
+                    ticket, charged = staged
+                    self._post(dest, self._staged_message(tag, True, ticket, charged))
                     continue
-            self._post(dest, _Message(self._rank, tag, True, datatype.pack(sendbuf)))
+            nbytes = datatype.size_elements() * np.asarray(sendbuf).dtype.itemsize
+            charged = self._charge_staging(nbytes, "Alltoallw lane")
+            self._post(
+                dest, self._staged_message(tag, True, datatype.pack(sendbuf), charged)
+            )
 
         for source in range(self.size):
             if source == self._rank:
@@ -1707,26 +1771,29 @@ class Communicator:
             assert recvbuf is not None
             message = self._consume(self._match(source, tag, internal=True), source)
             payload = message.payload
-            if isinstance(payload, _ZeroCopyHandle):
-                got = payload.size_elements()
-            elif isinstance(payload, ShmTicket):
-                got = payload.count
-            else:
-                got = int(payload.size)
-            if got != datatype.size_elements():
-                complete = getattr(payload, "complete", None)
-                if callable(complete):
-                    complete()  # release the sender; the error is ours
-                raise TruncationError(
-                    f"Alltoallw lane {source}->{self._rank}: got {got} "
-                    f"elements, type expects {datatype.size_elements()}"
-                )
-            if isinstance(payload, _ZeroCopyHandle):
-                _receive_rendezvous(recvbuf, datatype, payload)
-            elif isinstance(payload, ShmTicket):
-                _receive_shm(recvbuf, datatype, payload)
-            else:
-                datatype.unpack(recvbuf, payload)
+            try:
+                if isinstance(payload, _ZeroCopyHandle):
+                    got = payload.size_elements()
+                elif isinstance(payload, ShmTicket):
+                    got = payload.count
+                else:
+                    got = int(payload.size)
+                if got != datatype.size_elements():
+                    complete = getattr(payload, "complete", None)
+                    if callable(complete):
+                        complete()  # release the sender; the error is ours
+                    raise TruncationError(
+                        f"Alltoallw lane {source}->{self._rank}: got {got} "
+                        f"elements, type expects {datatype.size_elements()}"
+                    )
+                if isinstance(payload, _ZeroCopyHandle):
+                    _receive_rendezvous(recvbuf, datatype, payload)
+                elif isinstance(payload, ShmTicket):
+                    _receive_shm(recvbuf, datatype, payload)
+                else:
+                    datatype.unpack(recvbuf, payload)
+            finally:
+                _release_budget(message)
 
         if handles:
             self._await_handles(handles)
@@ -1843,7 +1910,10 @@ class Communicator:
         if FAULTS.active and not FAULTS.on_send(
             self._world_ranks[self._rank], message
         ):
-            return  # dropped by the fault plan (rendezvous senders released)
+            # Dropped by the fault plan (rendezvous senders released); a
+            # dropped staged payload is gone, so its charge comes back too.
+            _release_budget(message)
+            return
         self.fabric.post(self.comm_id, self._world_ranks[dest], message)
 
     def _post_rendezvous(

@@ -59,6 +59,18 @@ class ProcessFailedError(MpiSimError):
     """
 
 
+class MemoryBudgetError(MpiSimError, MemoryError):
+    """A staging allocation would exceed the configured ``MemoryBudget``
+    (``DDR_MEM_BUDGET_MB``).
+
+    Subclasses :class:`MemoryError` so generic OOM handlers still fire, and
+    :class:`MpiSimError` so the chaos harness classifies it as a typed
+    failure rather than a bare exception.  Raised *before* the allocation
+    happens — the budget ledger is consulted first — so the process is never
+    actually near the host's OOM killer when this surfaces.
+    """
+
+
 class FaultInjectionError(MpiSimError):
     """Base class for failures surfaced by the fault-injection layer
     (:mod:`repro.faults`) after recovery was attempted or ruled out."""

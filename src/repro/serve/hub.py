@@ -479,9 +479,11 @@ class FrameHub:
         self.metrics.observe("serve.publish", elapsed)
         if encode_s:
             self.metrics.observe("serve.encode", encode_s)
-        self.metrics.gauge(
-            "serve.pool_bytes", self.mapping_cache.stats()["pool_bytes"]
-        )
+        cache_stats = self.mapping_cache.stats()
+        self.metrics.gauge("serve.pool_bytes", cache_stats["pool_bytes"])
+        self.metrics.gauge("serve.pool_peak_bytes", cache_stats["pool_peak_bytes"])
+        self.metrics.gauge("serve.cache_bytes", cache_stats["cache_bytes"])
+        self.metrics.gauge("serve.cache_peak_bytes", cache_stats["cache_peak_bytes"])
         if controller is not None:
             controller.observe_registry(self.metrics)
             self.metrics.gauge("serve.degrade_level", controller.level)

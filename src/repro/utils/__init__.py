@@ -18,10 +18,21 @@ from .timing import (
     transfer_counters,
 )
 from .arrays import StagingPool, as_contiguous, dtype_size, flat_view
+from .membudget import (
+    MEMORY_BUDGET,
+    MemoryAudit,
+    MemoryBudget,
+    auditing_memory,
+    budget_scope,
+    memory_budget,
+)
 
 __all__ = [
     "GiB",
     "KiB",
+    "MEMORY_BUDGET",
+    "MemoryAudit",
+    "MemoryBudget",
     "MiB",
     "StagingPool",
     "StopwatchRegistry",
@@ -30,6 +41,8 @@ __all__ = [
     "counting_transfers",
     "transfer_counters",
     "as_contiguous",
+    "auditing_memory",
+    "budget_scope",
     "dtype_size",
     "flat_view",
     "fmt_bytes",
@@ -37,4 +50,5 @@ __all__ = [
     "fmt_seconds",
     "gbit_per_s",
     "mb",
+    "memory_budget",
 ]

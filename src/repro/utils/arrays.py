@@ -7,6 +7,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from .membudget import MEMORY_BUDGET
 from .timing import TRANSFER_COUNTERS
 
 #: Default per-pool byte budget.  Overridable through ``DDR_POOL_BUDGET_MB``;
@@ -35,15 +36,25 @@ class StagingPool:
     round-trips).  Evictions are counted on the pool itself and, when
     enabled, in :data:`~repro.utils.timing.TRANSFER_COUNTERS` so the
     metrics layer can watch cache pressure as mappings proliferate.
+
+    When a process-wide :data:`~repro.utils.membudget.MEMORY_BUDGET` is
+    active, every fresh allocation reserves against the owning ``rank``'s
+    ledger *before* NumPy allocates (raising the typed
+    ``MemoryBudgetError`` instead of approaching real OOM) and every
+    eviction or :meth:`clear` releases it.  ``peak_bytes`` is the pool's
+    own resident high-water mark, surfaced as a metrics gauge by the
+    serving layer.
     """
 
-    def __init__(self, max_bytes: int | None = None) -> None:
+    def __init__(self, max_bytes: int | None = None, rank: int | None = None) -> None:
         self._arrays: OrderedDict[
             tuple[tuple[int, ...], np.dtype], np.ndarray
         ] = OrderedDict()
         self.max_bytes = DEFAULT_POOL_BUDGET_BYTES if max_bytes is None else int(max_bytes)
         self.current_bytes = 0
+        self.peak_bytes = 0
         self.evictions = 0
+        self.rank = rank
 
     def take(self, shape, dtype) -> np.ndarray:
         """An uninitialised array of the requested geometry (cached)."""
@@ -52,11 +63,18 @@ class StagingPool:
         key = (tuple(int(s) for s in shape), np.dtype(dtype))
         array = self._arrays.get(key)
         if array is None:
+            nbytes = key[1].itemsize
+            for extent in key[0]:
+                nbytes *= extent
+            if MEMORY_BUDGET.active:
+                MEMORY_BUDGET.reserve(nbytes, "staging pool", rank=self.rank)
             array = np.empty(key[0], dtype=key[1])
             if TRANSFER_COUNTERS.enabled:
                 TRANSFER_COUNTERS.count_alloc(array.nbytes)
             self._arrays[key] = array
             self.current_bytes += array.nbytes
+            if self.current_bytes > self.peak_bytes:
+                self.peak_bytes = self.current_bytes
             self._evict_over_budget(keep=key)
         else:
             self._arrays.move_to_end(key)
@@ -77,10 +95,14 @@ class StagingPool:
             victim = self._arrays.pop(oldest)
             self.current_bytes -= victim.nbytes
             self.evictions += 1
+            if MEMORY_BUDGET.active:
+                MEMORY_BUDGET.release(victim.nbytes, rank=self.rank)
             if TRANSFER_COUNTERS.enabled:
                 TRANSFER_COUNTERS.count_eviction(victim.nbytes)
 
     def clear(self) -> None:
+        if MEMORY_BUDGET.active and self.current_bytes:
+            MEMORY_BUDGET.release(self.current_bytes, rank=self.rank)
         self._arrays.clear()
         self.current_bytes = 0
 

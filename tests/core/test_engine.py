@@ -25,7 +25,7 @@ from tests.conftest import spmd
 
 class TestEngineRegistry:
     def test_known_engines(self):
-        assert set(ENGINES) == {"alltoallw", "p2p", "auto"}
+        assert set(ENGINES) == {"alltoallw", "p2p", "auto", "bounded"}
         for name in ENGINES:
             assert get_engine(name).name == name
 

@@ -114,6 +114,30 @@ class TestBoundedBytes:
         assert stats["entries"] == 4
         assert stats["pool_bytes"] == cache.pool_bytes()
 
+    def test_peak_and_cache_bytes_exported(self):
+        """The hub's observability gauges: staging-pool / buffer-cache
+        resident bytes and their high-water marks, via ``stats()``."""
+        red = _hub_redistributor()
+        cache = MappingCache(max_entries=4)
+        bufs = [np.ones(b.np_shape(), dtype=np.float32) for b in OWN]
+        (mapping,) = cache.get(
+            "roi", lambda: [red.new_mapping(own=OWN, need=Box((0, 0), (4, 4)))]
+        )
+        red.gather_need(bufs, mapping=mapping, reuse_out=True)
+        stats = cache.stats()
+        assert stats["pool_peak_bytes"] >= stats["pool_bytes"] > 0
+        # The buffer cache pins the validated own buffers plus the need.
+        need_nbytes = 4 * 4 * np.dtype(np.float32).itemsize
+        assert stats["cache_bytes"] == sum(b.nbytes for b in bufs) + need_nbytes
+        assert stats["cache_peak_bytes"] >= stats["cache_bytes"]
+        # Peaks survive a clear of the resident state.
+        mapping.buffer_cache.clear()
+        mapping.pool.clear()
+        after = cache.stats()
+        assert after["pool_bytes"] == 0 and after["cache_bytes"] == 0
+        assert after["pool_peak_bytes"] == stats["pool_peak_bytes"]
+        assert after["cache_peak_bytes"] == stats["cache_peak_bytes"]
+
     def test_evicted_mapping_use_raises_typed_error(self):
         red = _hub_redistributor()
         cache = MappingCache(max_entries=1)

@@ -81,7 +81,7 @@ class TestRandom:
 
     def test_kind_registry(self):
         assert set(FAULT_KINDS) == {
-            "delay", "drop", "send", "recv", "corrupt", "round", "crash",
+            "delay", "drop", "send", "recv", "corrupt", "round", "crash", "alloc",
         }
 
 

@@ -15,7 +15,8 @@ import time
 import numpy as np
 
 from repro.intransit import StreamReceiver, StreamSender, StreamTopology, frame_tag
-from tests.conftest import spmd
+from repro.utils.membudget import MEMORY_BUDGET, budget_scope
+from tests.conftest import spmd, thread_only
 
 GAVE_UP_TAG = 7
 SENT_TAG = 8
@@ -108,6 +109,37 @@ class TestStragglerPurge:
             return True
 
         assert spmd(3, fn)[2] is True
+
+    @thread_only
+    def test_purged_straggler_releases_budget_charge(self):
+        """A straggler's staged payload is charged to the DDR memory budget
+        at send time; purging the abandoned frame must release the charge,
+        so a long degraded run's resident staging stays bounded (the
+        invariant the memory-chaos pipeline worker asserts)."""
+        topo = StreamTopology(m=1, n=1, nx=4, ny=4)
+        frame_bytes = 4 * 4 * np.dtype(np.float32).itemsize
+
+        def fn(comm):
+            if comm.rank == 0:
+                sender = StreamSender(comm, topo, 0)
+                comm.recv(source=1, tag=GAVE_UP_TAG)
+                sender.send_frame(0, np.zeros((4, 4), dtype=np.float32))
+                comm.send("sent", 1, tag=SENT_TAG)
+                return None
+            receiver = StreamReceiver(comm, topo, 0)
+            assert receiver.try_recv_frame(0, deadline_s=0.05) is None
+            comm.send("gave up", 0, tag=GAVE_UP_TAG)
+            comm.recv(source=0, tag=SENT_TAG)
+            sender_world = comm.world_rank_of(0)
+            staged = MEMORY_BUDGET.used_bytes(sender_world)
+            assert staged >= frame_bytes  # the straggler is charged
+            assert receiver.purge_abandoned() == 1
+            assert MEMORY_BUDGET.used_bytes(sender_world) == staged - frame_bytes
+            return True
+
+        with budget_scope(limit_mb=16):
+            assert spmd(2, fn)[1] is True
+        assert MEMORY_BUDGET.total_used_bytes() == 0
 
 
 class TestBufferReuse:
